@@ -1,0 +1,51 @@
+"""Ablation — file-cache size (§6's 256 KB cache).
+
+The paper filters traces through a 256 KB Linux-style cache.  Sweeps the
+capacity: a bigger cache absorbs more re-reads, thinning disk traffic
+and (slightly) lengthening idle periods.
+"""
+
+from conftest import ABLATION_SCALE, run_once
+
+from repro.cache.page_cache import CacheConfig
+from repro.config import SimulationConfig
+from repro.sim.experiment import ExperimentRunner
+from repro.workloads import build_suite
+
+SIZES_KB = (64, 256, 1024, 4096)
+
+
+def test_ablation_cache_size(benchmark):
+    suite = build_suite(scale=ABLATION_SCALE)
+
+    def sweep():
+        results = {}
+        for size_kb in SIZES_KB:
+            config = SimulationConfig(
+                cache=CacheConfig(capacity_bytes=size_kb * 1024)
+            )
+            runner = ExperimentRunner(suite, config)
+            accesses = 0
+            opportunities = 0
+            for app in runner.applications:
+                result = runner.run_global(app, "Base")
+                accesses += result.total_disk_accesses
+                opportunities += result.stats.opportunities
+            results[size_kb] = (accesses, opportunities)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Ablation: file-cache capacity (suite-wide, scale 0.5)")
+    for size_kb, (accesses, opportunities) in results.items():
+        print(f"  cache={size_kb:5d}KB disk accesses={accesses:7d} "
+              f"idle periods={opportunities:4d}")
+
+    sizes = sorted(results)
+    traffic = [results[s][0] for s in sizes]
+    # Disk traffic is monotonically non-increasing in cache size.
+    assert all(a >= b for a, b in zip(traffic, traffic[1:]))
+    # Idle-period structure stays in the same ballpark (the think times,
+    # not the cache, define the opportunities).
+    opp = [results[s][1] for s in sizes]
+    assert max(opp) <= 1.3 * min(opp)

@@ -1,0 +1,35 @@
+"""Ablation — Learning Tree history depth (§6.1).
+
+The paper: "we have used a history length of eight in LT.  Longer
+history lengths does not improve accuracy.  Shorter history may result
+in more hits, but misprediction may also increase."
+"""
+
+from conftest import run_once
+
+from repro.predictors.registry import lt_spec
+from repro.sim.metrics import PredictionStats
+
+DEPTHS = (1, 2, 4, 8, 12)
+
+
+def test_ablation_lt_depth(benchmark, ablation_runner):
+    def sweep():
+        results = {}
+        for depth in DEPTHS:
+            stats = PredictionStats()
+            for app in ablation_runner.applications:
+                spec = lt_spec(ablation_runner.config, max_depth=depth)
+                stats.merge(ablation_runner.run_global(app, spec).stats)
+            results[depth] = (stats.hit_fraction, stats.miss_fraction)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Ablation: LT history depth (global, scale 0.5)")
+    for depth, (hit, miss) in results.items():
+        print(f"  depth={depth:2d}  hit={hit:6.1%}  miss={miss:6.1%}")
+
+    # Depth 8 vs 12: no meaningful accuracy change (paper's claim).
+    assert abs(results[12][0] - results[8][0]) < 0.05
+    assert abs(results[12][1] - results[8][1]) < 0.05

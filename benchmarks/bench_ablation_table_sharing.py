@@ -1,0 +1,48 @@
+"""Ablation — application-level vs per-process prediction tables (§4.2).
+
+The paper: "While PCAP uses learning based on process ID, it associates
+the prediction table with a particular application."  PCAPp gives each
+process a private table instead; helper processes then retrain what
+their siblings already know, shifting hits from the primary predictor
+to the backup on the multi-process applications.
+"""
+
+from conftest import run_once
+
+MULTIPROCESS = ("mozilla", "writer", "impress")
+
+
+def test_ablation_table_sharing(benchmark, ablation_runner):
+    def sweep():
+        results = {}
+        for app in ablation_runner.applications:
+            shared = ablation_runner.run_global(app, "PCAP")
+            private = ablation_runner.run_global(app, "PCAPp")
+            results[app] = (
+                shared.stats.hit_primary_fraction,
+                private.stats.hit_primary_fraction,
+                shared.table_size or 0,
+                private.table_size or 0,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Ablation: table association (global, scale 0.5)")
+    print(f"  {'app':9s} {'shared hitP':>11s} {'private hitP':>12s} "
+          f"{'shared tbl':>10s} {'private tbl':>11s}")
+    for app, (shared, private, st, pt) in results.items():
+        print(f"  {app:9s} {shared:11.1%} {private:12.1%} {st:10d} {pt:11d}")
+
+    # Private tables duplicate entries across processes...
+    for app in MULTIPROCESS:
+        assert results[app][3] >= results[app][2], app
+    # ...and never beat sharing on primary coverage; single-process
+    # nedit is indifferent.
+    for app, (shared, private, *_rest) in results.items():
+        assert private <= shared + 0.02, app
+    assert abs(results["nedit"][0] - results["nedit"][1]) < 1e-9
+    # impress runs two identical render workers (same code, same PCs):
+    # the application-level table trains once for both, so the private
+    # variant duplicates entries there.
+    assert results["impress"][3] > results["impress"][2]

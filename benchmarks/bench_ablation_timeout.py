@@ -1,0 +1,52 @@
+"""Ablation — the timeout value (§6.1/§6.3).
+
+Sweeps TP's timer: "Lower timer values would increase mispredictions
+significantly and much higher timeout would reduce the energy savings
+considerably."  Includes the breakeven timeout (Karlin's 2-competitive
+choice) the paper evaluates in §6.3.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import average_savings, build_fig8
+from repro.config import SimulationConfig
+from repro.predictors.registry import tp_spec
+from repro.sim.metrics import PredictionStats
+
+TIMEOUTS = (2.0, 5.445, 10.0, 20.0, 60.0)
+
+
+def test_ablation_timeout(benchmark, ablation_runner):
+    def sweep():
+        results = {}
+        base_energy = {
+            app: ablation_runner.run_global(app, "Base").energy
+            for app in ablation_runner.applications
+        }
+        for timeout in TIMEOUTS:
+            stats = PredictionStats()
+            savings = []
+            for app in ablation_runner.applications:
+                spec = tp_spec(ablation_runner.config, timeout=timeout)
+                result = ablation_runner.run_global(app, spec)
+                stats.merge(result.stats)
+                savings.append(1.0 - result.energy / base_energy[app])
+            results[timeout] = (
+                sum(savings) / len(savings),
+                stats.miss_fraction,
+                stats.hit_fraction,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Ablation: TP timeout (global, scale 0.5)")
+    for timeout, (savings, miss, hit) in results.items():
+        print(f"  timeout={timeout:6.2f}s savings={savings:6.1%} "
+              f"hit={hit:6.1%} miss={miss:6.1%}")
+
+    # Aggressive timers mispredict more (§6.3: 12% at breakeven timeout).
+    assert results[2.0][1] >= results[10.0][1]
+    assert results[5.445][1] >= results[10.0][1]
+    # Long timers burn the savings away.
+    assert results[60.0][0] <= results[10.0][0]

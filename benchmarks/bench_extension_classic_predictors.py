@@ -1,0 +1,48 @@
+"""Extension — classic DPM predictors from the background section (§2).
+
+Runs Hwang & Wu's exponential average (EXP), the Douglis-style adaptive
+timeout (AT), and the confidence-gated PCAPc alongside the paper's
+predictors for context.  The paper's survey conclusion — dynamic
+predictors before PCAP traded accuracy for immediacy — shows up as
+EXP/AT landing between TP and PCAP on coverage with more misses.
+"""
+
+from conftest import run_once
+
+from repro.sim.metrics import PredictionStats
+
+PREDICTORS = ("TP", "EXP", "AT", "LT", "PCAP", "PCAPc")
+
+
+def test_extension_classic_predictors(benchmark, ablation_runner):
+    def sweep():
+        results = {}
+        for name in PREDICTORS:
+            stats = PredictionStats()
+            energy = 0.0
+            base = 0.0
+            for app in ablation_runner.applications:
+                result = ablation_runner.run_global(app, name)
+                stats.merge(result.stats)
+                energy += result.energy
+                base += ablation_runner.run_global(app, "Base").energy
+            results[name] = (
+                stats.hit_fraction,
+                stats.miss_fraction,
+                1.0 - energy / base,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Extension: classic predictors (global, scale 0.5)")
+    for name, (hit, miss, savings) in results.items():
+        print(f"  {name:6s} hit={hit:6.1%} miss={miss:6.1%} "
+              f"savings={savings:6.1%}")
+
+    # PCAP still leads the online predictors on coverage.
+    assert results["PCAP"][0] >= max(
+        results[name][0] for name in ("TP", "EXP", "AT")
+    ) - 0.02
+    # Confidence gating cannot increase mispredictions.
+    assert results["PCAPc"][1] <= results["PCAP"][1] + 0.01

@@ -1,0 +1,47 @@
+"""Beyond the paper's figures — user-perceived spin-up latency.
+
+§6.3: "Unnecessary shutdowns not only consume energy but also can
+affect disk reliability and irritate the user who has to wait for the
+disk to spin up."  This bench quantifies that trade: spin-up delays per
+predictor, split into benign ones (the user was away anyway) and
+irritating ones (the off-window was below breakeven — the user was
+actively working when the disk had to spin back up).
+"""
+
+from conftest import run_once
+
+PREDICTORS = ("Ideal", "TP", "TP-BE", "LT", "PCAP", "PCAPfh")
+
+
+def test_latency_impact(benchmark, ablation_runner):
+    def sweep():
+        results = {}
+        for name in PREDICTORS:
+            delayed = irritating = shutdowns = 0
+            seconds = 0.0
+            for app in ablation_runner.applications:
+                result = ablation_runner.run_global(app, name)
+                delayed += result.delayed_requests
+                irritating += result.irritating_delays
+                seconds += result.delay_seconds
+                shutdowns += result.shutdowns
+            results[name] = (delayed, irritating, seconds, shutdowns)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Spin-up latency impact (suite-wide, scale 0.5)")
+    print(f"  {'predictor':9s} {'shutdowns':>9s} {'delayed':>8s} "
+          f"{'irritating':>11s} {'wait (s)':>9s}")
+    for name, (delayed, irritating, seconds, shutdowns) in results.items():
+        print(f"  {name:9s} {shutdowns:9d} {delayed:8d} {irritating:11d} "
+              f"{seconds:9.1f}")
+
+    # The conservative 10 s timeout irritates less than the aggressive
+    # breakeven timeout, and mispredictions are what irritate: the
+    # history-augmented PCAPfh irritates no more than base PCAP.
+    assert results["TP"][1] <= results["TP-BE"][1]
+    assert results["PCAPfh"][1] <= results["PCAP"][1] + 1
+    # Irritating delays track mispredicted shutdowns, never exceed total.
+    for name, (delayed, irritating, _s, _sd) in results.items():
+        assert irritating <= delayed

@@ -1,0 +1,59 @@
+"""Beyond the paper's figures — PCAP's behavioural envelope.
+
+Characterizes the predictor on the three extreme workloads: perfectly
+periodic (clockwork), adversarially novel (chaos), and regime-changing
+(shapeshifter).  Demonstrates the paper's two safety arguments:
+
+* §2.1's premise pays off fully when behaviour repeats (clockwork);
+* §4.3's backup timeout means PCAP degrades *to* the timeout
+  predictor — never below it — when behaviour never repeats (chaos);
+* §4.2's retraining handles recompiled code (shapeshifter).
+"""
+
+from conftest import run_once
+
+from repro.sim.experiment import ExperimentRunner
+from repro.workloads.extremes import build_extremes
+
+PREDICTORS = ("TP", "LT", "PCAP")
+
+
+def test_predictor_envelope(benchmark, config):
+    runner = ExperimentRunner(build_extremes(executions=12), config)
+
+    def sweep():
+        results = {}
+        for app in runner.applications:
+            for name in PREDICTORS:
+                result = runner.run_global(app, name)
+                results[(app, name)] = result
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("PCAP behavioural envelope (12 executions each)")
+    for (app, name), result in results.items():
+        stats = result.stats
+        table = result.table_size if result.table_size is not None else "-"
+        print(f"  {app:13s} {name:5s} hit={stats.hit_fraction:6.1%} "
+              f"(primary {stats.hit_primary_fraction:6.1%}) "
+              f"miss={stats.miss_fraction:6.1%} table={table}")
+
+    # Clockwork: near-perfect primary coverage with a one-entry table.
+    clockwork = results[("clockwork", "PCAP")]
+    assert clockwork.stats.hit_fraction > 0.95
+    assert clockwork.table_size == 1
+
+    # Chaos: PCAP's coverage equals TP's (the backup floor), its primary
+    # never fires, and its table bloats with single-use signatures.
+    chaos_pcap = results[("chaos", "PCAP")]
+    chaos_tp = results[("chaos", "TP")]
+    assert chaos_pcap.stats.hits_primary == 0
+    assert chaos_pcap.stats.hits == chaos_tp.stats.hits
+    assert (chaos_pcap.table_size or 0) > 50
+
+    # Shapeshifter: the regime switch costs one retraining transient,
+    # not the predictor.
+    shape = results[("shapeshifter", "PCAP")]
+    assert shape.stats.hit_fraction > 0.9
+    assert shape.table_size == 2

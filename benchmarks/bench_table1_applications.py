@@ -1,0 +1,38 @@
+"""Table 1 — Applications and execution details.
+
+Regenerates the suite statistics (executions, global/local idle periods,
+total I/Os) and prints them next to the paper's values.
+"""
+
+from conftest import run_once
+
+from repro.analysis.paper_data import PAPER_TABLE1
+from repro.analysis.report import render_table1
+from repro.analysis.tables import build_table1
+
+
+def test_table1_applications(benchmark, full_runner):
+    rows = run_once(benchmark, lambda: build_table1(full_runner))
+    print()
+    print(render_table1(rows))
+
+    by_app = {row.application: row for row in rows}
+    # Execution counts are exact by construction.
+    for name, (executions, *_rest) in PAPER_TABLE1.items():
+        assert by_app[name].executions == executions
+
+    # Idle-period and I/O magnitudes land within a factor of ~1.6 of the
+    # paper (synthetic traces; shape, not testbed-exact counts).
+    for name, (_e, global_idle, local_idle, ios) in PAPER_TABLE1.items():
+        row = by_app[name]
+        assert 0.5 * global_idle <= row.global_idle_periods <= 1.6 * global_idle, name
+        assert 0.5 * local_idle <= row.local_idle_periods <= 1.7 * local_idle, name
+        assert 0.6 * ios <= row.total_ios <= 1.4 * ios, name
+
+    # Shape: mplayer has the largest I/O volume, nedit the smallest;
+    # local counts never fall below global counts.
+    volumes = {name: row.total_ios for name, row in by_app.items()}
+    assert max(volumes, key=volumes.get) == "mplayer"
+    assert min(volumes, key=volumes.get) == "nedit"
+    for row in rows:
+        assert row.local_idle_periods >= row.global_idle_periods

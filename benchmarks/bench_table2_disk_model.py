@@ -1,0 +1,32 @@
+"""Table 2 — The states and state transitions of the simulated disk.
+
+Verifies the disk model against the paper's Fujitsu MHF 2043 AT
+parameters and the quoted 5.43 s breakeven time (derived, not
+hard-coded, in our model).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.paper_data import PAPER_TABLE2
+from repro.analysis.report import render_table2
+from repro.analysis.tables import build_table2
+from repro.disk.power_model import fujitsu_mhf2043at
+
+
+def test_table2_disk_model(benchmark):
+    rows = run_once(benchmark, lambda: build_table2(fujitsu_mhf2043at()))
+    print()
+    print(render_table2(rows))
+
+    values = {row.name: row.value for row in rows}
+    assert values["Busy power"] == PAPER_TABLE2["busy_power_w"]
+    assert values["Idle power"] == PAPER_TABLE2["idle_power_w"]
+    assert values["Standby power"] == PAPER_TABLE2["standby_power_w"]
+    assert values["Spin-up energy"] == PAPER_TABLE2["spinup_energy_j"]
+    assert values["Shutdown energy"] == PAPER_TABLE2["shutdown_energy_j"]
+    assert values["Spin-up time"] == PAPER_TABLE2["spinup_time_s"]
+    assert values["Shutdown time"] == PAPER_TABLE2["shutdown_time_s"]
+    assert values["Breakeven time (derived)"] == pytest.approx(
+        PAPER_TABLE2["breakeven_time_s"], abs=0.03
+    )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale (the complete six-application trace history) and prints the same
+rows/series the paper reports, side by side with the paper's numbers.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the output.
+
+Ablation benches use a reduced scale (0.5) so parameter sweeps stay
+affordable; the headline table/figure benches run at scale 1.0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.experiment import ExperimentRunner
+from repro.workloads import build_suite
+
+#: Scale of the headline table/figure benches.
+FULL_SCALE = 1.0
+#: Scale of the ablation sweeps.
+ABLATION_SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def config() -> SimulationConfig:
+    return SimulationConfig()
+
+
+@pytest.fixture(scope="session")
+def full_runner(config) -> ExperimentRunner:
+    """Full-scale suite + runner shared by the table/figure benches.
+
+    The runner memoizes the cache-filtering pass; predictor state is per
+    spec, so benches do not interfere with one another.
+    """
+    return ExperimentRunner(build_suite(scale=FULL_SCALE), config)
+
+
+@pytest.fixture(scope="session")
+def ablation_runner(config) -> ExperimentRunner:
+    return ExperimentRunner(build_suite(scale=ABLATION_SCALE), config)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Whole-suite simulations take seconds; statistical repetition would
+    multiply runtimes for no insight, so every bench uses a single
+    measured round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,103 @@
+"""Driving PCAP by hand on a browsing session, with table persistence.
+
+Demonstrates the low-level API: build an execution trace with the
+workload DSL, filter it through the file cache, feed the per-process
+disk accesses to a PCAPPredictor, watch the signature logic train and
+predict, and round-trip the trained table through the §4.2
+"initialization file".
+
+Run:  python examples/browsing_session.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import PCAPPredictor, PredictionTable, SimulationConfig
+from repro.cache import filter_execution
+from repro.core.persistence import load_table_file, save_table_file
+from repro.predictors import IdleFeedback, classify_gap
+from repro.workloads import build_execution
+from repro.workloads.mozilla import spec as mozilla_spec
+
+
+def drive_session(predictor: PCAPPredictor, config, execution) -> dict:
+    """Feed one execution's main-process disk stream to the predictor."""
+    filtered = filter_execution(execution, config.cache)
+    stream = [a for a in filtered.accesses if a.pid == 1000]
+    counts = {"matched": 0, "backup": 0, "trained_before": len(predictor.table)}
+    predictor.begin_execution(execution.start_time)
+    busy_end = execution.start_time
+    for access in stream:
+        gap = access.time - busy_end
+        if gap > 1e-9:
+            predictor.on_idle_end(
+                IdleFeedback(
+                    busy_end, access.time,
+                    classify_gap(gap, config.wait_window, config.breakeven),
+                )
+            )
+        intent = predictor.on_access(access)
+        if intent.source.value == "primary":
+            counts["matched"] += 1
+        else:
+            counts["backup"] += 1
+        busy_end = access.time + config.access_duration(access.block_count)
+    # Trailing idle period: trains too (the table is saved at exit).
+    if execution.end_time > busy_end:
+        predictor.on_idle_end(
+            IdleFeedback(
+                busy_end, execution.end_time,
+                classify_gap(
+                    execution.end_time - busy_end,
+                    config.wait_window, config.breakeven,
+                ),
+            )
+        )
+    predictor.end_execution(execution.end_time)
+    counts["trained_after"] = len(predictor.table)
+    return counts
+
+
+def main() -> None:
+    config = SimulationConfig()
+    spec = mozilla_spec()
+    table = PredictionTable()
+    predictor = PCAPPredictor(
+        table,
+        wait_window=config.wait_window,
+        backup_timeout=config.timeout,
+    )
+
+    print("Driving PCAP over five browsing sessions (mozilla model):")
+    for session in range(5):
+        execution = build_execution(spec, session, scale=0.8)
+        counts = drive_session(predictor, config, execution)
+        print(f"  session {session}: signature matches={counts['matched']:4d} "
+              f"backup decisions={counts['backup']:4d} "
+              f"table {counts['trained_before']:3d} -> "
+              f"{counts['trained_after']:3d} entries")
+
+    # §4.2: save the trained table into the application's initialization
+    # file and reload it at the next start.
+    with tempfile.TemporaryDirectory() as tmp:
+        init_file = Path(tmp) / "mozilla.pcap"
+        save_table_file(table, "mozilla", init_file)
+        print(f"\nsaved table: {init_file.stat().st_size} bytes on disk "
+              f"({len(table)} entries, 4 bytes each in the paper's encoding)")
+        restored, application = load_table_file(init_file)
+        print(f"reloaded table for {application!r}: {len(restored)} entries")
+
+        # A fresh process with the reloaded table predicts immediately
+        # (replaying the first session: its paths are all trained now).
+        fresh = PCAPPredictor(
+            restored,
+            wait_window=config.wait_window,
+            backup_timeout=config.timeout,
+        )
+        counts = drive_session(fresh, config, build_execution(spec, 0, scale=0.8))
+        print(f"fresh process with reloaded table: "
+              f"matches={counts['matched']} backup={counts['backup']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: compare shutdown predictors on a generated workload.
+
+Generates a down-scaled trace history of the paper's mozilla workload,
+runs the timeout predictor, the Learning Tree, and PCAP over it, and
+prints coverage, mispredictions, and energy savings.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentRunner, SimulationConfig, build_suite
+
+
+def main() -> None:
+    config = SimulationConfig()  # the paper's setup (Table 2 disk, 1 s
+    #                              wait-window, 10 s timeout, 256 KB cache)
+    print(f"breakeven time of the simulated disk: {config.breakeven:.2f} s")
+
+    # scale=0.7 generates ~70% of the executions/actions of the paper's
+    # trace collection; scale=1.0 reproduces Table 1 magnitudes.
+    suite = build_suite(scale=0.7, applications=("mozilla",))
+    runner = ExperimentRunner(suite, config)
+
+    base = runner.run_global("mozilla", "Base")
+    print(f"\nmozilla, {base.executions} executions, "
+          f"{base.total_disk_accesses} disk accesses, "
+          f"{base.stats.opportunities} shutdown opportunities")
+    print(f"{'predictor':10s} {'coverage':>9s} {'misses':>8s} "
+          f"{'savings':>8s}")
+    for name in ("TP", "LT", "PCAP", "PCAPfh", "Ideal"):
+        result = runner.run_global("mozilla", name)
+        savings = 1.0 - result.energy / base.energy
+        print(f"{name:10s} {result.stats.hit_fraction:9.1%} "
+              f"{result.stats.miss_fraction:8.1%} {savings:8.1%}")
+
+    print("\nPCAP shuts the disk down immediately on a recognized PC path;"
+          "\nthe timeout predictor burns 10 s of idle power first — that"
+          "\ngap is the paper's headline result.")
+
+
+if __name__ == "__main__":
+    main()

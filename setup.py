@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables ``pip install -e .`` in offline
+environments lacking the ``wheel`` package (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

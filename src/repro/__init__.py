@@ -1,0 +1,94 @@
+"""repro — reproduction of *Program Counter Based Techniques for Dynamic
+Power Management* (Gniady, Hu & Lu, HPCA 2004).
+
+The package implements PCAP — the Program-Counter Access Predictor — and
+everything its evaluation stands on: the simulated disk power model, a
+Linux-style file cache, strace-like trace containers with synthetic
+workload generators for the paper's six applications, baseline
+predictors (timeout, Learning Tree, ideal oracle, and classic schemes),
+the trace-driven simulation engine, and the analysis layer that rebuilds
+every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import ExperimentRunner, build_suite
+
+    runner = ExperimentRunner(build_suite(scale=0.2))
+    result = runner.run_global("mozilla", "PCAP")
+    print(result.stats.hit_fraction, result.ledger.total)
+
+Subpackages:
+
+* :mod:`repro.core` — PCAP and the Global Shutdown Predictor;
+* :mod:`repro.predictors` — the predictor protocol and baselines;
+* :mod:`repro.disk` — disk power model (paper Table 2);
+* :mod:`repro.cache` — file cache and trace filtering;
+* :mod:`repro.traces` — trace records, containers, serialization;
+* :mod:`repro.workloads` — the six-application synthetic suite;
+* :mod:`repro.sim` — simulation engine, metrics, experiment runner;
+* :mod:`repro.analysis` — tables, figures, paper comparison.
+"""
+
+from repro.cache import CacheConfig, DiskAccess, PageCache, filter_execution
+from repro.core import (
+    GlobalShutdownPredictor,
+    PCAPPredictor,
+    PCAPVariant,
+    PredictionTable,
+)
+from repro.disk import (
+    DiskPowerParameters,
+    EnergyBreakdown,
+    SimulatedDisk,
+    fujitsu_mhf2043at,
+)
+from repro.predictors import (
+    KNOWN_PREDICTORS,
+    LocalPredictor,
+    PredictorSpec,
+    ShutdownIntent,
+    make_spec,
+)
+from repro.sim import (
+    ApplicationResult,
+    ExperimentRunner,
+    PredictionStats,
+    SimulationConfig,
+    paper_config,
+)
+from repro.traces import ApplicationTrace, ExecutionTrace, IOEvent
+from repro.workloads import APPLICATIONS, build_application, build_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationResult",
+    "ApplicationTrace",
+    "CacheConfig",
+    "DiskAccess",
+    "DiskPowerParameters",
+    "EnergyBreakdown",
+    "ExecutionTrace",
+    "ExperimentRunner",
+    "GlobalShutdownPredictor",
+    "IOEvent",
+    "KNOWN_PREDICTORS",
+    "LocalPredictor",
+    "PCAPPredictor",
+    "PCAPVariant",
+    "PageCache",
+    "PredictionStats",
+    "PredictionTable",
+    "PredictorSpec",
+    "ShutdownIntent",
+    "SimulatedDisk",
+    "SimulationConfig",
+    "__version__",
+    "build_application",
+    "build_suite",
+    "filter_execution",
+    "fujitsu_mhf2043at",
+    "make_spec",
+    "paper_config",
+]

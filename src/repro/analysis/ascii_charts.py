@@ -1,0 +1,128 @@
+"""ASCII stacked-bar rendering of the paper's figures.
+
+The paper's Figures 6-10 are stacked bar charts (hit / not-predicted
+below the 100 % line, misses stacked on top, reaching ~140 %); Figure 8
+stacks energy components.  These renderers draw the same bars in plain
+text so the CLI and benchmark output convey the *shape* at a glance::
+
+    mozilla   PCAP   |##############.....xxxx   | 80% hit, 17% np, 22% miss
+
+Glyphs: ``#`` hits, ``:`` backup hits, ``.`` not predicted, ``x``
+misses.  One column ≈ (100 / width) percentage points; bars are clipped
+at ``clip`` (default 150 %) like the paper's axis.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import AccuracyFigure, EnergyFigure
+
+#: Default glyphs for accuracy bars.
+GLYPH_HIT_PRIMARY = "#"
+GLYPH_HIT_BACKUP = ":"
+GLYPH_NOT_PREDICTED = "."
+GLYPH_MISS = "x"
+
+
+def _cells(fraction: float, width: int, clip: float) -> int:
+    return max(0, round(min(fraction, clip) * width / clip))
+
+
+def accuracy_bar(
+    hit_primary: float,
+    hit_backup: float,
+    not_predicted: float,
+    miss: float,
+    *,
+    width: int = 50,
+    clip: float = 1.5,
+) -> str:
+    """One stacked accuracy bar; 100 % is marked with ``|``."""
+    segments = (
+        (GLYPH_HIT_PRIMARY, hit_primary),
+        (GLYPH_HIT_BACKUP, hit_backup),
+        (GLYPH_NOT_PREDICTED, not_predicted),
+        (GLYPH_MISS, miss),
+    )
+    bar = ""
+    for glyph, fraction in segments:
+        bar += glyph * _cells(fraction, width, clip)
+    bar = bar[: width]
+    bar = bar.ljust(width)
+    marker = _cells(1.0, width, clip)
+    return bar[:marker] + "|" + bar[marker:]
+
+
+def render_accuracy_chart(
+    figure: AccuracyFigure, title: str, *, width: int = 50
+) -> str:
+    """The whole figure as stacked text bars."""
+    lines = [
+        title,
+        f"  [{GLYPH_HIT_PRIMARY} primary hit  {GLYPH_HIT_BACKUP} backup hit"
+        f"  {GLYPH_NOT_PREDICTED} not predicted  {GLYPH_MISS} miss"
+        "  | = 100%]",
+    ]
+    for application, row in figure.items():
+        for predictor, bar in row.items():
+            chart = accuracy_bar(
+                bar.hit_primary,
+                bar.hit_backup,
+                bar.not_predicted,
+                bar.miss,
+                width=width,
+            )
+            lines.append(f"  {application:9s} {predictor:7s} {chart}")
+    return "\n".join(lines)
+
+
+#: Glyphs for Figure-8 energy components.
+GLYPH_BUSY = "B"
+GLYPH_IDLE_SHORT = "s"
+GLYPH_IDLE_LONG = "L"
+GLYPH_CYCLE = "c"
+
+
+def energy_bar(
+    busy: float,
+    idle_short: float,
+    idle_long: float,
+    power_cycle: float,
+    *,
+    width: int = 50,
+) -> str:
+    """One stacked energy bar (fractions of the Base total)."""
+    segments = (
+        (GLYPH_BUSY, busy),
+        (GLYPH_IDLE_SHORT, idle_short),
+        (GLYPH_IDLE_LONG, idle_long),
+        (GLYPH_CYCLE, power_cycle),
+    )
+    bar = ""
+    for glyph, fraction in segments:
+        bar += glyph * _cells(fraction, width, 1.0)
+    return bar[:width].ljust(width)
+
+
+def render_energy_chart(
+    figure: EnergyFigure,
+    title: str = "Figure 8: Energy distribution",
+    *,
+    width: int = 50,
+) -> str:
+    lines = [
+        title,
+        f"  [{GLYPH_BUSY} busy  {GLYPH_IDLE_SHORT} idle<BE  "
+        f"{GLYPH_IDLE_LONG} idle>BE  {GLYPH_CYCLE} power cycle; "
+        "full width = Base energy]",
+    ]
+    for application, row in figure.items():
+        for predictor, bar in row.items():
+            chart = energy_bar(
+                bar.busy, bar.idle_short, bar.idle_long, bar.power_cycle,
+                width=width,
+            )
+            lines.append(
+                f"  {application:9s} {predictor:6s} {chart} "
+                f"{bar.savings:6.1%} saved"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Shape comparison against the paper's results.
+
+The reproduction's substrate is synthetic, so absolute numbers are not
+expected to match the paper's testbed; what must hold is the *shape* —
+who wins, by roughly what factor, and where the qualitative crossovers
+fall.  :func:`shape_checks` encodes those claims as testable predicates;
+the integration tests and EXPERIMENTS.md consume its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.figures import (
+    AccuracyFigure,
+    EnergyFigure,
+    average_bars,
+    average_savings,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeCheck:
+    """One verifiable qualitative claim from the paper."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check(name: str, passed: bool, detail: str) -> ShapeCheck:
+    return ShapeCheck(name=name, passed=passed, detail=detail)
+
+
+def fig6_checks(figure: AccuracyFigure) -> list[ShapeCheck]:
+    """Local accuracy claims (§6.1)."""
+    tp = average_bars(figure, "TP")
+    lt = average_bars(figure, "LT")
+    pcap = average_bars(figure, "PCAP")
+    return [
+        _check(
+            "fig6: TP has the lowest coverage of the three predictors",
+            tp.hit < lt.hit and tp.hit < pcap.hit,
+            f"TP {tp.hit:.1%} vs LT {lt.hit:.1%}, PCAP {pcap.hit:.1%}",
+        ),
+        _check(
+            "fig6: TP has the lowest misprediction rate",
+            tp.miss <= lt.miss and tp.miss <= pcap.miss + 0.02,
+            f"TP {tp.miss:.1%} vs LT {lt.miss:.1%}, PCAP {pcap.miss:.1%}",
+        ),
+        _check(
+            "fig6: PCAP achieves the highest coverage",
+            pcap.hit >= lt.hit - 0.01,
+            f"PCAP {pcap.hit:.1%} vs LT {lt.hit:.1%}",
+        ),
+        _check(
+            "fig6: PCAP mispredicts less than LT",
+            pcap.miss < lt.miss,
+            f"PCAP {pcap.miss:.1%} vs LT {lt.miss:.1%}",
+        ),
+    ]
+
+
+def fig7_checks(figure: AccuracyFigure) -> list[ShapeCheck]:
+    """Global accuracy claims (§6.2)."""
+    tp = average_bars(figure, "TP")
+    lt = average_bars(figure, "LT")
+    pcap = average_bars(figure, "PCAP")
+    return [
+        _check(
+            "fig7: coverage orders TP < LT <= PCAP",
+            tp.hit < lt.hit and lt.hit <= pcap.hit + 0.02,
+            f"TP {tp.hit:.1%}, LT {lt.hit:.1%}, PCAP {pcap.hit:.1%}",
+        ),
+        _check(
+            "fig7: PCAP beats LT on mispredictions by roughly 2x",
+            pcap.miss < lt.miss,
+            f"PCAP {pcap.miss:.1%} vs LT {lt.miss:.1%}",
+        ),
+        _check(
+            "fig7: all global misprediction rates exceed or match local-style TP",
+            tp.miss <= lt.miss and tp.miss <= pcap.miss + 0.02,
+            f"TP {tp.miss:.1%}, LT {lt.miss:.1%}, PCAP {pcap.miss:.1%}",
+        ),
+    ]
+
+
+def fig8_checks(figure: EnergyFigure) -> list[ShapeCheck]:
+    """Energy claims (§6.3)."""
+    ideal = average_savings(figure, "Ideal")
+    tp = average_savings(figure, "TP")
+    lt = average_savings(figure, "LT")
+    pcap = average_savings(figure, "PCAP")
+    base_rows = [row["Base"] for row in figure.values()]
+    idle_dominant = sum(
+        1
+        for bar in base_rows
+        if bar.idle_short + bar.idle_long > 0.5
+    )
+    mplayer_exception = (
+        "mplayer" not in figure
+        or figure["mplayer"]["Base"].idle_long
+        == min(row["Base"].idle_long for row in figure.values())
+    )
+    return [
+        _check(
+            "fig8: savings order TP <= LT <= PCAP <= Ideal",
+            tp <= lt + 0.02 and lt <= pcap + 0.01 and pcap <= ideal,
+            f"TP {tp:.1%}, LT {lt:.1%}, PCAP {pcap:.1%}, Ideal {ideal:.1%}",
+        ),
+        _check(
+            "fig8: PCAP lands within a few points of the ideal predictor",
+            ideal - pcap < 0.06,
+            f"gap {ideal - pcap:.1%} (paper: 2%)",
+        ),
+        _check(
+            "fig8: idle energy dominates the base system",
+            idle_dominant == len(base_rows),
+            f"{idle_dominant}/{len(base_rows)} apps idle-dominated",
+        ),
+        _check(
+            "fig8: mplayer is the limited-idle outlier",
+            mplayer_exception,
+            "mplayer has the smallest idle>breakeven share",
+        ),
+    ]
+
+
+def fig9_checks(figure: AccuracyFigure) -> list[ShapeCheck]:
+    """Optimization claims (§6.4.1)."""
+    pcap = average_bars(figure, "PCAP")
+    pcap_h = average_bars(figure, "PCAPh")
+    pcap_f = average_bars(figure, "PCAPf")
+    pcap_fh = average_bars(figure, "PCAPfh")
+    checks = [
+        _check(
+            "fig9: history cuts mispredictions roughly in half",
+            pcap_h.miss < pcap.miss * 0.75,
+            f"PCAP {pcap.miss:.1%} -> PCAPh {pcap_h.miss:.1%}",
+        ),
+        _check(
+            "fig9: file descriptors help less than history",
+            pcap_h.miss <= pcap_f.miss and pcap_f.miss <= pcap.miss,
+            f"PCAPf {pcap_f.miss:.1%} between PCAPh {pcap_h.miss:.1%} "
+            f"and PCAP {pcap.miss:.1%}",
+        ),
+        _check(
+            "fig9: combining both is at least as accurate as history alone",
+            pcap_fh.miss <= pcap_h.miss + 0.01,
+            f"PCAPfh {pcap_fh.miss:.1%} vs PCAPh {pcap_h.miss:.1%}",
+        ),
+    ]
+    if "mozilla" in figure:
+        moz = figure["mozilla"]
+        checks.append(
+            _check(
+                "fig9: mozilla's misses drop by roughly half with history",
+                moz["PCAPh"].miss < moz["PCAP"].miss * 0.75,
+                f"mozilla PCAP {moz['PCAP'].miss:.1%} -> "
+                f"PCAPh {moz['PCAPh'].miss:.1%} (paper 26% -> 13%)",
+            )
+        )
+    return checks
+
+
+def fig10_checks(figure: AccuracyFigure) -> list[ShapeCheck]:
+    """Table-reuse claims (§6.4.2)."""
+    pcap = average_bars(figure, "PCAP")
+    pcap_a = average_bars(figure, "PCAPa")
+    lt = average_bars(figure, "LT")
+    lt_a = average_bars(figure, "LTa")
+    return [
+        _check(
+            "fig10: without reuse the primary predictor's share collapses",
+            pcap_a.hit_primary < pcap.hit_primary * 0.6,
+            f"PCAP primary {pcap.hit_primary:.1%} -> "
+            f"PCAPa {pcap_a.hit_primary:.1%} (paper 70% -> 16%)",
+        ),
+        _check(
+            "fig10: without reuse the backup predictor dominates PCAPa",
+            pcap_a.hit_backup > pcap_a.hit_primary,
+            f"PCAPa primary {pcap_a.hit_primary:.1%} vs "
+            f"backup {pcap_a.hit_backup:.1%}",
+        ),
+        _check(
+            "fig10: LT also loses primary coverage without tree reuse",
+            lt_a.hit_primary < lt.hit_primary,
+            f"LT primary {lt.hit_primary:.1%} -> LTa {lt_a.hit_primary:.1%}",
+        ),
+        _check(
+            "fig10: with reuse the primary predictor dominates PCAP",
+            pcap.hit_primary > pcap.hit_backup,
+            f"PCAP primary {pcap.hit_primary:.1%} vs "
+            f"backup {pcap.hit_backup:.1%}",
+        ),
+    ]
+
+
+def all_checks(
+    fig6: AccuracyFigure,
+    fig7: AccuracyFigure,
+    fig8: EnergyFigure,
+    fig9: AccuracyFigure,
+    fig10: AccuracyFigure,
+) -> list[ShapeCheck]:
+    """Every shape claim in one list (EXPERIMENTS.md material)."""
+    return (
+        fig6_checks(fig6)
+        + fig7_checks(fig7)
+        + fig8_checks(fig8)
+        + fig9_checks(fig9)
+        + fig10_checks(fig10)
+    )
+
+
+def render_checks(checks: list[ShapeCheck]) -> str:
+    lines = []
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{status}] {check.name}\n        {check.detail}")
+    passed = sum(1 for check in checks if check.passed)
+    lines.append(f"{passed}/{len(checks)} shape checks passed")
+    return "\n".join(lines)

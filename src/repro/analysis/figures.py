@@ -1,0 +1,198 @@
+"""Builders for the paper's figures (6, 7, 8, 9, 10).
+
+Each builder returns plain dataclasses the report renderers (and the
+benchmarks) consume; nothing here touches matplotlib — the paper's
+figures are stacked-bar charts whose numbers these structures carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.experiment import ApplicationResult, ExperimentRunner
+from repro.sim.metrics import PredictionStats
+
+#: Predictor sets of each figure.
+FIG6_PREDICTORS = ("TP", "LT", "PCAP")
+FIG7_PREDICTORS = ("TP", "LT", "PCAP")
+FIG8_PREDICTORS = ("Base", "Ideal", "TP", "LT", "PCAP")
+FIG9_PREDICTORS = ("PCAP", "PCAPh", "PCAPf", "PCAPfh")
+FIG10_PREDICTORS = ("PCAP", "PCAPa", "LT", "LTa")
+
+
+@dataclass(frozen=True, slots=True)
+class AccuracyBar:
+    """One stacked bar of Figures 6/7/9/10."""
+
+    application: str
+    predictor: str
+    hit: float
+    miss: float
+    not_predicted: float
+    hit_primary: float
+    hit_backup: float
+    miss_primary: float
+    miss_backup: float
+    opportunities: int
+
+    @staticmethod
+    def from_stats(
+        application: str, predictor: str, stats: PredictionStats
+    ) -> "AccuracyBar":
+        return AccuracyBar(
+            application=application,
+            predictor=predictor,
+            hit=stats.hit_fraction,
+            miss=stats.miss_fraction,
+            not_predicted=stats.not_predicted_fraction,
+            hit_primary=stats.hit_primary_fraction,
+            hit_backup=stats.hit_backup_fraction,
+            miss_primary=stats.miss_primary_fraction,
+            miss_backup=stats.miss_backup_fraction,
+            opportunities=stats.opportunities,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBar:
+    """One stacked bar of Figure 8 (fractions of the Base total)."""
+
+    application: str
+    predictor: str
+    busy: float
+    idle_short: float
+    idle_long: float
+    power_cycle: float
+    savings: float
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.idle_short + self.idle_long + self.power_cycle
+
+
+AccuracyFigure = dict[str, dict[str, AccuracyBar]]
+EnergyFigure = dict[str, dict[str, EnergyBar]]
+
+
+def _accuracy_figure(
+    runner: ExperimentRunner,
+    predictors: Sequence[str],
+    *,
+    mode: str,
+    applications: Optional[Sequence[str]] = None,
+) -> AccuracyFigure:
+    matrix = runner.run_matrix(
+        predictors, mode=mode, applications=applications
+    )
+    return {
+        application: {
+            name: AccuracyBar.from_stats(application, name, result.stats)
+            for name, result in row.items()
+        }
+        for application, row in matrix.items()
+    }
+
+
+def build_fig6(
+    runner: ExperimentRunner,
+    predictors: Sequence[str] = FIG6_PREDICTORS,
+    applications: Optional[Sequence[str]] = None,
+) -> AccuracyFigure:
+    """Figure 6: local shutdown predictor accuracy."""
+    return _accuracy_figure(
+        runner, predictors, mode="local", applications=applications
+    )
+
+
+def build_fig7(
+    runner: ExperimentRunner,
+    predictors: Sequence[str] = FIG7_PREDICTORS,
+    applications: Optional[Sequence[str]] = None,
+) -> AccuracyFigure:
+    """Figure 7: global shutdown predictor accuracy."""
+    return _accuracy_figure(
+        runner, predictors, mode="global", applications=applications
+    )
+
+
+def build_fig9(
+    runner: ExperimentRunner,
+    predictors: Sequence[str] = FIG9_PREDICTORS,
+    applications: Optional[Sequence[str]] = None,
+) -> AccuracyFigure:
+    """Figure 9: history / file-descriptor optimizations (global)."""
+    return _accuracy_figure(
+        runner, predictors, mode="global", applications=applications
+    )
+
+
+def build_fig10(
+    runner: ExperimentRunner,
+    predictors: Sequence[str] = FIG10_PREDICTORS,
+    applications: Optional[Sequence[str]] = None,
+) -> AccuracyFigure:
+    """Figure 10: prediction-table reuse (global)."""
+    return _accuracy_figure(
+        runner, predictors, mode="global", applications=applications
+    )
+
+
+def build_fig8(
+    runner: ExperimentRunner,
+    predictors: Sequence[str] = FIG8_PREDICTORS,
+    applications: Optional[Sequence[str]] = None,
+) -> EnergyFigure:
+    """Figure 8: energy distribution, normalized per-app to Base."""
+    apps = list(applications) if applications else runner.applications
+    figure: EnergyFigure = {}
+    for application in apps:
+        results: dict[str, ApplicationResult] = {
+            name: runner.run_global(application, name) for name in predictors
+        }
+        if "Base" not in results:
+            raise ValueError("Figure 8 needs the Base system for scaling")
+        base_total = results["Base"].ledger.total
+        row: dict[str, EnergyBar] = {}
+        for name, result in results.items():
+            fractions = result.ledger.fractions_of(base_total)
+            row[name] = EnergyBar(
+                application=application,
+                predictor=name,
+                busy=fractions["busy"],
+                idle_short=fractions["idle_short"],
+                idle_long=fractions["idle_long"],
+                power_cycle=fractions["power_cycle"],
+                savings=result.ledger.savings_versus(results["Base"].ledger),
+            )
+        figure[application] = row
+    return figure
+
+
+def average_bars(figure: AccuracyFigure, predictor: str) -> AccuracyBar:
+    """Unweighted across-application average of one predictor's bars —
+    the quantity the paper's prose reports ("on average ...")."""
+    bars = [row[predictor] for row in figure.values()]
+    if not bars:
+        raise ValueError("empty figure")
+    n = len(bars)
+    return AccuracyBar(
+        application="average",
+        predictor=predictor,
+        hit=sum(b.hit for b in bars) / n,
+        miss=sum(b.miss for b in bars) / n,
+        not_predicted=sum(b.not_predicted for b in bars) / n,
+        hit_primary=sum(b.hit_primary for b in bars) / n,
+        hit_backup=sum(b.hit_backup for b in bars) / n,
+        miss_primary=sum(b.miss_primary for b in bars) / n,
+        miss_backup=sum(b.miss_backup for b in bars) / n,
+        opportunities=sum(b.opportunities for b in bars),
+    )
+
+
+def average_savings(figure: EnergyFigure, predictor: str) -> float:
+    """Across-application average energy savings of one predictor."""
+    bars = [row[predictor] for row in figure.values()]
+    if not bars:
+        raise ValueError("empty figure")
+    return sum(b.savings for b in bars) / len(bars)

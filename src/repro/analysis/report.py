@@ -1,0 +1,129 @@
+"""ASCII renderers: the benchmark harness prints the same rows/series the
+paper's tables and figures report, side by side with the paper's values
+where available."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.figures import (
+    AccuracyFigure,
+    EnergyFigure,
+    average_bars,
+    average_savings,
+)
+from repro.analysis.paper_data import (
+    PAPER_FIG8_SAVINGS,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+)
+from repro.analysis.tables import Table1Row, Table2Row, Table3Row
+
+
+def _pct(value: float) -> str:
+    return f"{value:6.1%}"
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Table 1 with the paper's values inline for comparison."""
+    lines = [
+        "Table 1: Applications and execution details (measured vs paper)",
+        f"{'appl.':9s} {'exec':>5s} {'glob.idle':>10s} {'(paper)':>8s} "
+        f"{'loc.idle':>9s} {'(paper)':>8s} {'total I/O':>10s} {'(paper)':>8s}",
+    ]
+    for row in rows:
+        paper = PAPER_TABLE1.get(row.application)
+        paper_global = f"{paper[1]:8d}" if paper else "       -"
+        paper_local = f"{paper[2]:8d}" if paper else "       -"
+        paper_ios = f"{paper[3]:8d}" if paper else "       -"
+        lines.append(
+            f"{row.application:9s} {row.executions:5d} "
+            f"{row.global_idle_periods:10d} {paper_global} "
+            f"{row.local_idle_periods:9d} {paper_local} "
+            f"{row.total_ios:10d} {paper_ios}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    lines = ["Table 2: Simulated disk states and state transitions"]
+    for row in rows:
+        lines.append(f"  {row.name:28s} {row.value:8.3f} {row.unit}")
+    return "\n".join(lines)
+
+
+def render_table3(rows: Sequence[Table3Row]) -> str:
+    if not rows:
+        return "Table 3: (no rows)"
+    variants = list(rows[0].entries)
+    header = f"{'appl.':9s}" + "".join(
+        f" {v:>7s} {'(p)':>5s}" for v in variants
+    )
+    lines = ["Table 3: Prediction-table storage (entries; measured vs paper)",
+             header]
+    for row in rows:
+        paper = PAPER_TABLE3.get(row.application, {})
+        cells = "".join(
+            f" {row.entries[v]:7d} {paper.get(v, 0):5d}" for v in variants
+        )
+        lines.append(f"{row.application:9s}{cells}")
+    return "\n".join(lines)
+
+
+def render_accuracy_figure(
+    figure: AccuracyFigure,
+    title: str,
+    *,
+    split_sources: bool = False,
+) -> str:
+    """Figures 6/7 (plain hit/miss) or 9/10 (primary/backup split)."""
+    lines = [title]
+    predictors = list(next(iter(figure.values())))
+    for application, row in figure.items():
+        for predictor in predictors:
+            bar = row[predictor]
+            if split_sources:
+                detail = (
+                    f"hitP={_pct(bar.hit_primary)} hitB={_pct(bar.hit_backup)} "
+                    f"missP={_pct(bar.miss_primary)} missB={_pct(bar.miss_backup)}"
+                )
+            else:
+                detail = f"hit={_pct(bar.hit)} miss={_pct(bar.miss)}"
+            lines.append(
+                f"  {application:9s} {predictor:7s} {detail} "
+                f"notpred={_pct(bar.not_predicted)} (n={bar.opportunities})"
+            )
+    for predictor in predictors:
+        avg = average_bars(figure, predictor)
+        lines.append(
+            f"  {'AVERAGE':9s} {predictor:7s} hit={_pct(avg.hit)} "
+            f"miss={_pct(avg.miss)} notpred={_pct(avg.not_predicted)} "
+            f"hitP={_pct(avg.hit_primary)} hitB={_pct(avg.hit_backup)}"
+        )
+    return "\n".join(lines)
+
+
+def render_energy_figure(
+    figure: EnergyFigure, title: str = "Figure 8: Energy distribution"
+) -> str:
+    lines = [
+        title,
+        "  (components as fractions of the Base system's energy)",
+    ]
+    for application, row in figure.items():
+        for predictor, bar in row.items():
+            lines.append(
+                f"  {application:9s} {predictor:6s} "
+                f"busy={_pct(bar.busy)} idle<BE={_pct(bar.idle_short)} "
+                f"idle>BE={_pct(bar.idle_long)} cycle={_pct(bar.power_cycle)} "
+                f"savings={_pct(bar.savings)}"
+            )
+    predictors = [p for p in next(iter(figure.values())) if p != "Base"]
+    for predictor in predictors:
+        paper = PAPER_FIG8_SAVINGS.get(predictor)
+        paper_text = f" (paper {paper:.0%})" if paper is not None else ""
+        lines.append(
+            f"  AVERAGE   {predictor:6s} savings="
+            f"{_pct(average_savings(figure, predictor))}{paper_text}"
+        )
+    return "\n".join(lines)

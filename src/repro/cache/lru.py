@@ -1,0 +1,80 @@
+"""A small, generic O(1) LRU mapping.
+
+Python dicts preserve insertion order and support ``move_to_end``-style
+manipulation via deletion/reinsertion, but :class:`collections.OrderedDict`
+makes the intent explicit and gives O(1) ``popitem(last=False)`` for
+evicting the least-recently-used entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUMapping(Generic[K, V]):
+    """Mapping with least-recently-used eviction at a fixed capacity.
+
+    ``get``/``put`` count as uses.  ``capacity`` of ``None`` disables
+    eviction (unbounded), which the prediction table uses by default.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        """Keys from least to most recently used."""
+        return iter(self._entries)
+
+    def get(self, key: K) -> Optional[V]:
+        """Value for ``key`` (refreshing its recency), or ``None``."""
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Value for ``key`` without refreshing recency."""
+        return self._entries.get(key)
+
+    def put(self, key: K, value: V) -> Optional[tuple[K, V]]:
+        """Insert/update ``key``; returns the evicted ``(key, value)`` pair
+        if the insertion overflowed the capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return None
+        self._entries[key] = value
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self.evictions += 1
+            return self._entries.popitem(last=False)
+        return None
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove and return ``key``'s value, or ``None`` if absent."""
+        return self._entries.pop(key, None)
+
+    def items(self) -> list[tuple[K, V]]:
+        """Snapshot of entries from least to most recently used."""
+        return list(self._entries.items())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def lru_key(self) -> Optional[K]:
+        """The key that would be evicted next, or ``None`` when empty."""
+        return next(iter(self._entries), None)

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+::
+
+    python -m repro reproduce [--scale S]        # all tables + figures
+    python -m repro figure 7 [--scale S] [--chart]
+    python -m repro table 1 [--scale S]
+    python -m repro simulate --app mozilla --predictor PCAP [--scale S]
+    python -m repro generate --app mozilla --out traces.jsonl [--scale S]
+    python -m repro import-strace trace.txt --app myapp [--predictor PCAP]
+    python -m repro inspect traces.jsonl
+
+Everything prints plain text; ``--chart`` switches the figure commands
+to ASCII stacked bars.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.ascii_charts import (
+    render_accuracy_chart,
+    render_energy_chart,
+)
+from repro.analysis.compare import all_checks, render_checks
+from repro.analysis.figures import (
+    build_fig6,
+    build_fig7,
+    build_fig8,
+    build_fig9,
+    build_fig10,
+)
+from repro.analysis.experiments_report import generate_report
+from repro.analysis.svg_charts import render_accuracy_svg, render_energy_svg
+from repro.analysis.report import (
+    render_accuracy_figure,
+    render_energy_figure,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.tables import build_table1, build_table2, build_table3
+from repro.config import SimulationConfig
+from repro.errors import ReproError
+from repro.predictors.registry import KNOWN_PREDICTORS
+from repro.sim.experiment import ExperimentRunner
+from repro.traces.io_format import (
+    read_application_trace,
+    write_application_trace,
+)
+from repro.traces.stats import TraceSummary
+from repro.traces.strace_import import parse_strace
+from repro.traces.trace import ApplicationTrace
+from repro.workloads import APPLICATIONS, build_suite
+
+
+def _runner(args, applications: Optional[tuple[str, ...]] = None):
+    suite = build_suite(
+        scale=args.scale, applications=applications or APPLICATIONS
+    )
+    return ExperimentRunner(suite, SimulationConfig())
+
+
+def _cmd_reproduce(args) -> int:
+    runner = _runner(args)
+    print(render_table1(build_table1(runner)))
+    print()
+    print(render_table2(build_table2(runner.config.disk)))
+    figures = {
+        "6": (build_fig6(runner), "Figure 6: Local predictors", False),
+        "7": (build_fig7(runner), "Figure 7: Global predictors", False),
+        "9": (build_fig9(runner), "Figure 9: Optimizations", True),
+        "10": (build_fig10(runner), "Figure 10: Table reuse", True),
+    }
+    built = {}
+    for key, (figure, title, split) in figures.items():
+        print()
+        print(render_accuracy_figure(figure, title, split_sources=split))
+        built[key] = figure
+    fig8 = build_fig8(runner)
+    print()
+    print(render_energy_figure(fig8))
+    print()
+    print(render_table3(build_table3(runner)))
+    print()
+    print(render_checks(
+        all_checks(built["6"], built["7"], fig8, built["9"], built["10"])
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    runner = _runner(args)
+    document = generate_report(runner, scale=args.scale)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(document)
+        print(f"wrote {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    runner = _runner(args)
+    number = args.number
+    title = f"Figure {number} (measured, scale {args.scale})"
+    if number == 8:
+        figure = build_fig8(runner)
+        if args.svg:
+            _write_svg(args.svg, render_energy_svg(figure, title))
+        elif args.chart:
+            print(render_energy_chart(figure))
+        else:
+            print(render_energy_figure(figure))
+        return 0
+    builders = {6: build_fig6, 7: build_fig7, 9: build_fig9, 10: build_fig10}
+    if number not in builders:
+        print(f"no figure {number}; the paper has figures 6-10",
+              file=sys.stderr)
+        return 2
+    figure = builders[number](runner)
+    if args.svg:
+        _write_svg(args.svg, render_accuracy_svg(figure, title))
+    elif args.chart:
+        print(render_accuracy_chart(figure, title))
+    else:
+        print(render_accuracy_figure(
+            figure, title, split_sources=number in (9, 10)
+        ))
+    return 0
+
+
+def _write_svg(path: str, document: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(document)
+    print(f"wrote {path}")
+
+
+def _cmd_table(args) -> int:
+    if args.number == 2:
+        print(render_table2(build_table2(SimulationConfig().disk)))
+        return 0
+    runner = _runner(args)
+    if args.number == 1:
+        print(render_table1(build_table1(runner)))
+    elif args.number == 3:
+        print(render_table3(build_table3(runner)))
+    else:
+        print("the paper has tables 1-3", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    runner = _runner(args, applications=(args.app,))
+    base = runner.run_global(args.app, "Base")
+    result = runner.run_global(args.app, args.predictor)
+    stats = result.stats
+    print(f"{args.app} x {result.predictor} (scale {args.scale}, "
+          f"{result.executions} executions)")
+    print(f"  disk accesses      : {result.total_disk_accesses}")
+    print(f"  idle periods       : {stats.opportunities}")
+    print(f"  coverage           : {stats.hit_fraction:.1%} "
+          f"(primary {stats.hit_primary_fraction:.1%}, "
+          f"backup {stats.hit_backup_fraction:.1%})")
+    print(f"  mispredictions     : {stats.miss_fraction:.1%}")
+    print(f"  shutdowns          : {result.shutdowns}")
+    print(f"  energy             : {result.energy:.1f} J "
+          f"(base {base.energy:.1f} J, "
+          f"savings {1 - result.energy / base.energy:.1%})")
+    if result.table_size is not None:
+        print(f"  prediction table   : {result.table_size} entries")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    suite = build_suite(scale=args.scale, applications=(args.app,))
+    trace = suite[args.app]
+    with open(args.out, "w", encoding="utf-8") as stream:
+        write_application_trace(trace, stream)
+    print(f"wrote {len(trace.executions)} executions "
+          f"({trace.total_io_count} I/O events) to {args.out}")
+    return 0
+
+
+def _cmd_import_strace(args) -> int:
+    with open(args.input, "r", encoding="utf-8") as stream:
+        execution, stats = parse_strace(stream, application=args.app)
+    print(f"imported {stats.io_events} I/O events, {stats.forks} forks, "
+          f"{stats.exits} exits ({stats.skipped_lines} lines skipped, "
+          f"{stats.failed_syscalls} failed syscalls)")
+    if args.out:
+        trace = ApplicationTrace(args.app, [execution])
+        with open(args.out, "w", encoding="utf-8") as stream:
+            write_application_trace(trace, stream)
+        print(f"wrote {args.out}")
+    if args.predictor:
+        runner = ExperimentRunner(
+            {args.app: ApplicationTrace(args.app, [execution])},
+            SimulationConfig(),
+        )
+        result = runner.run_global(args.app, args.predictor)
+        print(f"{args.predictor}: coverage "
+              f"{result.stats.hit_fraction:.1%}, misses "
+              f"{result.stats.miss_fraction:.1%}, energy "
+              f"{result.energy:.1f} J")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    with open(args.input, "r", encoding="utf-8") as stream:
+        trace = read_application_trace(stream)
+    summary = TraceSummary.of(trace)
+    print(f"application      : {summary.application}")
+    print(f"executions       : {summary.executions}")
+    print(f"I/O events       : {summary.total_io_events}")
+    print(f"processes (total): {summary.total_processes}")
+    for execution in trace.executions[:5]:
+        span = execution.end_time - execution.start_time
+        print(f"  execution {execution.execution_index}: "
+              f"{len(execution.io_events)} events, "
+              f"{len(execution.pids)} processes, {span:.1f} s")
+    if len(trace.executions) > 5:
+        print(f"  ... and {len(trace.executions) - 5} more")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Program Counter Based Techniques "
+                    "for Dynamic Power Management' (HPCA 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p):
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale (1.0 = the paper's Table 1)")
+
+    p = sub.add_parser("reproduce", help="all tables, figures, and checks")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "report", help="generate a Markdown measured-vs-paper report"
+    )
+    p.add_argument("--out", help="write to a file instead of stdout")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("figure", help="one figure (6-10)")
+    p.add_argument("number", type=int)
+    p.add_argument("--chart", action="store_true",
+                   help="ASCII stacked bars instead of numbers")
+    p.add_argument("--svg", metavar="FILE",
+                   help="write the figure as a standalone SVG chart")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("table", help="one table (1-3)")
+    p.add_argument("number", type=int)
+    add_scale(p)
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("simulate", help="one app under one predictor")
+    p.add_argument("--app", choices=APPLICATIONS, required=True)
+    p.add_argument("--predictor", choices=KNOWN_PREDICTORS, default="PCAP")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("generate", help="write a workload trace file")
+    p.add_argument("--app", choices=APPLICATIONS, required=True)
+    p.add_argument("--out", required=True)
+    add_scale(p)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("import-strace", help="convert strace -f -ttt -i output")
+    p.add_argument("input")
+    p.add_argument("--app", default="imported")
+    p.add_argument("--out", help="write the converted trace (JSON lines)")
+    p.add_argument("--predictor", choices=KNOWN_PREDICTORS,
+                   help="also simulate the imported trace")
+    p.set_defaults(fn=_cmd_import_strace)
+
+    p = sub.add_parser("inspect", help="summarize a trace file")
+    p.add_argument("input")
+    p.set_defaults(fn=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error.strerror or error}: "
+              f"{getattr(error, 'filename', '')}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

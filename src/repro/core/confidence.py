@@ -1,0 +1,56 @@
+"""Confidence counters — an extension beyond the paper's base design.
+
+The paper's PCAP inserts a signature after one long idle period and never
+unlearns it; a signature that aliases both long and short idle behaviour
+keeps mispredicting.  Borrowing the 2-bit saturating counters of classic
+branch predictors, :class:`ConfidenceEstimator` gates predictions on a
+per-key counter trained by actual outcomes.  PCAP with confidence
+("PCAPc") trades a little coverage for fewer repeat mispredictions; the
+ablation bench quantifies the trade.
+"""
+
+from __future__ import annotations
+
+
+class ConfidenceEstimator:
+    """Per-key saturating counters gating shutdown predictions.
+
+    A key predicts shutdown only while its counter is at or above
+    ``threshold``.  Counters start at ``initial`` when a key is first
+    trained (so a fresh entry predicts, like base PCAP), increase on
+    confirmed long idle periods and decrease on mispredictions.
+    """
+
+    def __init__(
+        self, *, threshold: int = 2, maximum: int = 3, initial: int = 2
+    ) -> None:
+        if not 0 <= threshold <= maximum:
+            raise ValueError("need 0 <= threshold <= maximum")
+        if not 0 <= initial <= maximum:
+            raise ValueError("need 0 <= initial <= maximum")
+        self.threshold = threshold
+        self.maximum = maximum
+        self.initial = initial
+        self._counters: dict = {}
+
+    def allows(self, key) -> bool:
+        """True when ``key`` is confident enough to predict shutdown."""
+        return self._counters.get(key, self.initial) >= self.threshold
+
+    def record(self, key, *, long_idle: bool) -> None:
+        """Train ``key`` with the actual outcome of its prediction window."""
+        current = self._counters.get(key, self.initial)
+        if long_idle:
+            current = min(self.maximum, current + 1)
+        else:
+            current = max(0, current - 1)
+        self._counters[key] = current
+
+    def counter(self, key) -> int:
+        return self._counters.get(key, self.initial)
+
+    def clear(self) -> None:
+        self._counters.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters)

@@ -1,0 +1,175 @@
+"""Global Shutdown Predictor (paper §5, Figure 5).
+
+Real systems run many processes; the disk may be shut down only when
+*every* live process predicts an idle period.  Each process owns a
+private local predictor that refreshes its standing intent after each of
+its own disk accesses; the global predictor combines them:
+
+* the global ready time is the **latest** of the live processes' ready
+  times (all must agree before the disk spins down);
+* a process whose local predictor returns "no idle" blocks the shutdown
+  entirely until its next access changes its mind;
+* the shutdown is *attributed* to the predictor type (primary or backup)
+  of the process that decided last — the paper's §6.4 convention;
+* no synchronization is needed: the currently running process always
+  makes the last prediction (§5).
+
+Per-process idle feedback (training, history bits) is computed from each
+process's **own** access stream — the paper's "local number of idle
+periods" — while the actual disk gaps are those of the merged stream,
+handled by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.filter import DiskAccess
+from repro.errors import SimulationError
+from repro.predictors.base import (
+    IdleFeedback,
+    LocalPredictor,
+    PredictorSource,
+    ShutdownIntent,
+    classify_gap,
+)
+
+
+@dataclass(slots=True)
+class _ProcessSlot:
+    predictor: LocalPredictor
+    #: Absolute time the standing intent becomes ready (None = never).
+    ready_time: Optional[float]
+    source: PredictorSource
+    #: Completion time of the process's last access (None before first).
+    last_busy_end: Optional[float]
+    started_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDecision:
+    """Earliest moment all live processes agree to shut down."""
+
+    ready_time: float
+    source: PredictorSource
+
+
+class GlobalShutdownPredictor:
+    """AND-combination of per-process local predictors."""
+
+    def __init__(
+        self,
+        predictor_factory: Callable[[int], LocalPredictor],
+        *,
+        wait_window: float,
+        breakeven: float,
+    ) -> None:
+        self._factory = predictor_factory
+        self.wait_window = wait_window
+        self.breakeven = breakeven
+        self._slots: dict[int, _ProcessSlot] = {}
+
+    @property
+    def live_pids(self) -> set[int]:
+        return set(self._slots)
+
+    def local_predictor(self, pid: int) -> LocalPredictor:
+        return self._slots[pid].predictor
+
+    def process_started(self, time: float, pid: int) -> None:
+        if pid in self._slots:
+            raise SimulationError(f"pid {pid} started twice")
+        predictor = self._factory(pid)
+        intent = predictor.initial_intent(time)
+        self._slots[pid] = _ProcessSlot(
+            predictor=predictor,
+            ready_time=self._absolute(intent, time),
+            source=intent.source,
+            last_busy_end=None,
+            started_at=time,
+        )
+
+    def process_exited(self, time: float, pid: int) -> None:
+        slot = self._slots.pop(pid, None)
+        if slot is None:
+            raise SimulationError(f"exit of unknown pid {pid}")
+        # Deliver the final idle period (last access → exit) so trailing
+        # gaps train: the table is saved at application exit (§4.2), by
+        # which time an idle period longer than breakeven has been
+        # observed.  mplayer's buffer-drain periods are exactly this.
+        gap_start = (
+            slot.last_busy_end
+            if slot.last_busy_end is not None
+            else slot.started_at
+        )
+        gap_length = time - gap_start
+        if gap_length > 1e-9:
+            slot.predictor.on_idle_end(
+                IdleFeedback(
+                    start=gap_start,
+                    end=time,
+                    idle_class=classify_gap(
+                        gap_length, self.wait_window, self.breakeven
+                    ),
+                )
+            )
+
+    def on_access(self, access: DiskAccess, busy_end: float) -> None:
+        """Feed one disk access to its process's local predictor.
+
+        ``busy_end`` is the completion time of the access (arrival plus
+        service, after serialization); intents are anchored to it.
+        """
+        slot = self._slots.get(access.pid)
+        if slot is None:
+            raise SimulationError(
+                f"access from pid {access.pid} which is not live"
+            )
+        gap_start = (
+            slot.last_busy_end
+            if slot.last_busy_end is not None
+            else slot.started_at
+        )
+        gap_length = max(0.0, access.time - gap_start)
+        if gap_length > 1e-9:
+            slot.predictor.on_idle_end(
+                IdleFeedback(
+                    start=gap_start,
+                    end=access.time,
+                    idle_class=classify_gap(
+                        gap_length, self.wait_window, self.breakeven
+                    ),
+                )
+            )
+        intent = slot.predictor.on_access(access)
+        slot.ready_time = self._absolute(intent, busy_end)
+        slot.source = intent.source
+        slot.last_busy_end = busy_end
+
+    def decision(self) -> Optional[GlobalDecision]:
+        """Current global decision given the standing per-process intents.
+
+        ``None`` while any live process predicts "no idle".  With no live
+        processes the disk may be shut down immediately — represented by
+        a ready time of minus infinity that the engine clamps to the
+        interval start.
+        """
+        if not self._slots:
+            return GlobalDecision(
+                ready_time=float("-inf"), source=PredictorSource.PRIMARY
+            )
+        latest: Optional[_ProcessSlot] = None
+        for slot in self._slots.values():
+            if slot.ready_time is None:
+                return None
+            if latest is None or slot.ready_time > latest.ready_time:
+                latest = slot
+        assert latest is not None and latest.ready_time is not None
+        return GlobalDecision(ready_time=latest.ready_time, source=latest.source)
+
+    @staticmethod
+    def _absolute(intent: ShutdownIntent, anchor: float) -> Optional[float]:
+        if intent.delay is None:
+            return None
+        return anchor + intent.delay

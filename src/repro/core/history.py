@@ -1,0 +1,54 @@
+"""Idle-period history register (§4.1.2, PCAPh).
+
+The history optimization appends a bit-vector of recent idle period
+classes to the prediction-table key: a period between the wait-window and
+the breakeven time is recorded as ``0``, a period longer than breakeven
+as ``1``; periods shorter than the wait-window are filtered at run time
+and never recorded.  The paper uses a history length of six.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import IdleClass
+
+
+class IdleHistoryRegister:
+    """Shift register of the last ``length`` idle-period class bits.
+
+    The register starts empty at each execution: until ``length`` periods
+    have been observed the key is the (shorter) sequence seen so far,
+    which simply means early-execution signatures train separate entries —
+    the extra training the paper attributes to PCAPh.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError("history length must be positive")
+        self.length = length
+        self._bits: tuple[int, ...] = ()
+
+    def record(self, idle_class: IdleClass) -> None:
+        """Record one finished idle period (sub-window periods ignored)."""
+        if idle_class == IdleClass.SUB_WINDOW:
+            return
+        bit = 1 if idle_class == IdleClass.LONG else 0
+        self._bits = (self._bits + (bit,))[-self.length :]
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        """Current history, oldest first (length 0..``length``)."""
+        return self._bits
+
+    def as_int(self) -> int:
+        """The bits packed into an integer with a length marker.
+
+        Packing ``(len, bits)`` into one int keeps keys hashable and
+        distinguishes e.g. history ``(0,)`` from ``(0, 0)``.
+        """
+        value = 1  # sentinel high bit encodes the length
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return value
+
+    def clear(self) -> None:
+        self._bits = ()

@@ -1,0 +1,93 @@
+"""Prediction-table persistence (§4.2, "Reusing prediction tables").
+
+The paper saves the trained table into the application's initialization
+file at exit and reloads it at the next start, carrying predictions
+across executions.  Inside the simulator the table object simply stays
+alive between executions; this module provides the on-disk counterpart so
+real deployments (and the examples) can round-trip tables exactly like
+the paper describes.
+
+Keys are ints or (nested) tuples of ints; the JSON schema records tuples
+as lists and restores them losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.table import PredictionTable, TableKey
+from repro.errors import PersistenceError
+
+#: Schema version written into every file.
+FORMAT_VERSION = 1
+
+_JsonKey = Union[int, list]
+
+
+def _key_to_json(key: TableKey) -> _JsonKey:
+    if isinstance(key, bool) or not isinstance(key, (int, tuple)):
+        raise PersistenceError(
+            f"table keys must be ints or tuples of ints, got {key!r}"
+        )
+    if isinstance(key, int):
+        return key
+    return [_key_to_json(part) for part in key]
+
+
+def _key_from_json(raw: _JsonKey) -> TableKey:
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, list):
+        return tuple(_key_from_json(part) for part in raw)
+    raise PersistenceError(f"malformed key {raw!r} in saved table")
+
+
+def dump_table(table: PredictionTable, application: str) -> str:
+    """Serialize a table to the JSON text of an "initialization file"."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "application": application,
+        "capacity": table.capacity,
+        "entries": [_key_to_json(key) for key in table.keys()],
+    }
+    return json.dumps(payload)
+
+
+def load_table(text: str) -> tuple[PredictionTable, str]:
+    """Parse :func:`dump_table` output; returns (table, application)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError("saved table is not valid JSON") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
+        raise PersistenceError("unsupported table format")
+    try:
+        application = str(payload["application"])
+        entries = payload["entries"]
+        capacity = payload.get("capacity")
+    except KeyError as exc:
+        raise PersistenceError("saved table is missing fields") from exc
+    table = PredictionTable(capacity=capacity)
+    if not isinstance(entries, list):
+        raise PersistenceError("saved entries must be a list")
+    for raw in entries:
+        table.train(_key_from_json(raw))
+    return table, application
+
+
+def save_table_file(
+    table: PredictionTable, application: str, path: Union[str, Path]
+) -> None:
+    """Write the table to ``path`` (the app's initialization file)."""
+    Path(path).write_text(dump_table(table, application), encoding="utf-8")
+
+
+def load_table_file(path: Union[str, Path]) -> tuple[PredictionTable, str]:
+    """Read a table saved by :func:`save_table_file`."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read table file {path}") from exc
+    return load_table(text)

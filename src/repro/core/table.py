@@ -1,0 +1,108 @@
+"""The PCAP prediction table (§3.2, §4.2).
+
+The table is a set of *keys* that were each observed immediately before
+an idle period longer than the breakeven time.  For base PCAP a key is
+just the 32-bit path signature; the PCAPh/PCAPf/PCAPfh variants extend the
+key with the idle-history register and/or the file descriptor
+(:mod:`repro.core.variants`).
+
+The paper's table is unbounded in the studied workloads (at most 139
+entries, Table 3) but §4.2 prescribes LRU replacement under a storage
+limit; :class:`PredictionTable` supports an optional capacity with LRU
+eviction, and counts insertions/lookups for the Table-3 analysis.
+
+One table is associated with each *application* and shared by its
+processes; with table reuse enabled it also persists across executions
+(:mod:`repro.core.persistence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from repro.cache.lru import LRUMapping
+
+#: A prediction-table key.  Base PCAP: ``int`` signature; variants use
+#: tuples of hashable features.
+TableKey = Hashable
+
+
+@dataclass(slots=True)
+class TableStats:
+    """Lifetime counters of one prediction table."""
+
+    lookups: int = 0
+    matches: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def match_ratio(self) -> float:
+        return self.matches / self.lookups if self.lookups else 0.0
+
+
+class PredictionTable:
+    """Set of trained keys with optional LRU-bounded capacity."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._entries: LRUMapping[TableKey, None] = LRUMapping(capacity)
+        self.stats = TableStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TableKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: TableKey) -> bool:
+        """True when ``key`` is trained (refreshes LRU recency)."""
+        self.stats.lookups += 1
+        found = key in self._entries
+        if found:
+            self._entries.get(key)  # refresh LRU recency
+            self.stats.matches += 1
+        return found
+
+    def train(self, key: TableKey) -> bool:
+        """Insert ``key``; returns True when it was new."""
+        if key in self._entries:
+            self._entries.get(key)  # refresh recency
+            return False
+        evicted = self._entries.put(key, None)
+        self.stats.insertions += 1
+        if evicted is not None:
+            self.stats.evictions += 1
+        return True
+
+    def forget(self, key: TableKey) -> bool:
+        """Remove ``key`` (used by the confidence extension)."""
+        had = key in self._entries
+        self._entries.pop(key)
+        return had
+
+    def keys(self) -> list[TableKey]:
+        """Trained keys, least recently used first."""
+        return [key for key, _ in self._entries.items()]
+
+    def clear(self) -> None:
+        """Discard all training (the PCAPa/LTa ablation at app exit)."""
+        self._entries.clear()
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._entries.capacity
+
+
+def storage_bytes(table: PredictionTable, bytes_per_entry: int = 4) -> int:
+    """Paper's storage estimate: each entry encodes into a 4-byte word."""
+    return len(table) * bytes_per_entry
+
+
+def merge_tables(tables: Iterable[PredictionTable]) -> PredictionTable:
+    """Union of several tables (utility for analyses)."""
+    merged = PredictionTable()
+    for table in tables:
+        for key in table.keys():
+            merged.train(key)
+    return merged

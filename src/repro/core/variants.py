@@ -1,0 +1,152 @@
+"""PCAP variant configurations (§4, §6.4).
+
+The paper evaluates a family of PCAP configurations:
+
+* **PCAP**   — base path-signature predictor;
+* **PCAPh**  — + idle-period history (length 6);
+* **PCAPf**  — + file descriptor;
+* **PCAPfh** — + both;
+* **PCAPa**  — base PCAP that *discards* its table at application exit
+  (the table-reuse ablation of Figure 10);
+* **PCAPc**  — our confidence-counter extension (not in the paper).
+
+A :class:`PCAPVariant` owns the application-level shared state (the
+prediction table and, for PCAPc, the confidence estimator) and
+manufactures the per-process :class:`~repro.core.pcap.PCAPPredictor`
+instances bound to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.confidence import ConfidenceEstimator
+from repro.core.pcap import PCAPPredictor
+from repro.core.table import PredictionTable
+
+#: The history length the paper found to maximize savings (§6.4.1).
+PAPER_HISTORY_LENGTH = 6
+
+
+@dataclass(frozen=True, slots=True)
+class PCAPVariantConfig:
+    """Immutable description of one PCAP configuration."""
+
+    wait_window: float = 1.0
+    backup_timeout: Optional[float] = 10.0
+    history_length: Optional[int] = None
+    use_file_descriptor: bool = False
+    #: Keep the table across executions (§4.2)?  False = PCAPa-style.
+    reuse_table: bool = True
+    #: Share one table among the application's processes (the paper's
+    #: design: "it associates the prediction table with a particular
+    #: application")?  False gives each process a private table — the
+    #: ablation quantifying why application-level association matters.
+    share_table_across_processes: bool = True
+    use_confidence: bool = False
+    table_capacity: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        # Paper order: PCAPf, PCAPh, PCAPfh.
+        suffix = ""
+        if self.use_file_descriptor:
+            suffix += "f"
+        if self.history_length:
+            suffix += "h"
+        if self.use_confidence:
+            suffix += "c"
+        if not self.reuse_table:
+            suffix += "a"
+        if not self.share_table_across_processes:
+            suffix += "p"
+        return "PCAP" + suffix
+
+
+class PCAPVariant:
+    """Application-level PCAP state plus a per-process predictor factory."""
+
+    def __init__(self, config: PCAPVariantConfig) -> None:
+        self.config = config
+        self.table = PredictionTable(capacity=config.table_capacity)
+        #: Private per-process tables (only when sharing is disabled).
+        self._private_tables: dict[int, PredictionTable] = {}
+        self.confidence = (
+            ConfidenceEstimator() if config.use_confidence else None
+        )
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def create_local(self, pid: int) -> PCAPPredictor:
+        """A fresh per-process predictor sharing the application table
+        (or bound to the pid's private table for the PCAPp ablation)."""
+        if self.config.share_table_across_processes:
+            table = self.table
+        else:
+            table = self._private_tables.setdefault(
+                pid, PredictionTable(capacity=self.config.table_capacity)
+            )
+        return PCAPPredictor(
+            table,
+            wait_window=self.config.wait_window,
+            backup_timeout=self.config.backup_timeout,
+            history_length=self.config.history_length,
+            use_file_descriptor=self.config.use_file_descriptor,
+            confidence=self.confidence,
+        )
+
+    def on_execution_end(self) -> None:
+        """Apply the table-reuse policy at application exit."""
+        if not self.config.reuse_table:
+            self.table.clear()
+            for table in self._private_tables.values():
+                table.clear()
+            if self.confidence is not None:
+                self.confidence.clear()
+
+    @property
+    def table_size(self) -> int:
+        if self.config.share_table_across_processes:
+            return len(self.table)
+        return sum(len(table) for table in self._private_tables.values())
+
+
+def pcap(**overrides) -> PCAPVariantConfig:
+    """Base PCAP (paper defaults)."""
+    return PCAPVariantConfig(**overrides)
+
+
+def pcap_h(history_length: int = PAPER_HISTORY_LENGTH, **overrides) -> PCAPVariantConfig:
+    """PCAPh: idle-period history added to the key."""
+    return PCAPVariantConfig(history_length=history_length, **overrides)
+
+
+def pcap_f(**overrides) -> PCAPVariantConfig:
+    """PCAPf: file descriptor added to the key."""
+    return PCAPVariantConfig(use_file_descriptor=True, **overrides)
+
+
+def pcap_fh(history_length: int = PAPER_HISTORY_LENGTH, **overrides) -> PCAPVariantConfig:
+    """PCAPfh: history and file descriptor combined."""
+    return PCAPVariantConfig(
+        history_length=history_length, use_file_descriptor=True, **overrides
+    )
+
+
+def pcap_a(**overrides) -> PCAPVariantConfig:
+    """PCAPa: table discarded at application exit (Figure 10 ablation)."""
+    return PCAPVariantConfig(reuse_table=False, **overrides)
+
+
+def pcap_c(**overrides) -> PCAPVariantConfig:
+    """PCAPc: confidence-counter extension (ours, not the paper's)."""
+    return PCAPVariantConfig(use_confidence=True, **overrides)
+
+
+def pcap_p(**overrides) -> PCAPVariantConfig:
+    """PCAPp: private per-process tables (ablation of the paper's
+    application-level table association)."""
+    return PCAPVariantConfig(share_table_across_processes=False, **overrides)

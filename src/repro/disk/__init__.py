@@ -1,0 +1,37 @@
+"""Disk power model substrate (paper Table 2).
+
+Public surface:
+
+* :class:`DiskPowerParameters` / :func:`fujitsu_mhf2043at` — electrical
+  and timing parameters plus the derived breakeven time;
+* :class:`SimulatedDisk` — event-driven three-state drive with the
+  Figure-8 energy ledger;
+* :class:`MultiStateDisk` — §7 extension with a low-power idle state;
+* :class:`EnergyBreakdown` — the ledger itself;
+* :class:`DiskState` — power states.
+"""
+
+from repro.disk.disk import GapReport, SimulatedDisk
+from repro.disk.energy import EnergyBreakdown, sum_breakdowns
+from repro.disk.multistate import MultiStateDisk
+from repro.disk.power_model import DiskPowerParameters, fujitsu_mhf2043at
+from repro.disk.states import (
+    LEGAL_TRANSITIONS,
+    DiskState,
+    check_transition,
+    is_spun_up,
+)
+
+__all__ = [
+    "DiskPowerParameters",
+    "DiskState",
+    "EnergyBreakdown",
+    "GapReport",
+    "LEGAL_TRANSITIONS",
+    "MultiStateDisk",
+    "SimulatedDisk",
+    "check_transition",
+    "fujitsu_mhf2043at",
+    "is_spun_up",
+    "sum_breakdowns",
+]

@@ -1,0 +1,185 @@
+"""Event-driven simulated hard disk with energy accounting.
+
+The disk is driven by the energy simulator with three calls:
+
+* :meth:`SimulatedDisk.serve` — an I/O request arrives;
+* :meth:`SimulatedDisk.schedule_shutdown` — the power manager issues a
+  shutdown inside the current idle gap;
+* :meth:`SimulatedDisk.finalize` — the trace ended; close the ledger.
+
+Because the Figure-8 ledger attributes idle energy by the *length class*
+of the idle period it occurs in (shorter vs longer than breakeven), each
+idle gap is resolved as a whole when the next request arrives, producing a
+:class:`GapReport` the caller can use for hit/miss statistics.
+
+Requests are serialized: a request arriving while the disk is still busy
+starts when the previous one completes.  Spin-up latency is accounted as
+energy only — the trace timeline is not stretched, matching the paper's
+trace-driven methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.energy import EnergyBreakdown
+from repro.disk.power_model import DiskPowerParameters
+from repro.errors import DiskStateError
+from repro.units import EPSILON
+
+
+@dataclass(frozen=True, slots=True)
+class GapReport:
+    """Outcome of one resolved idle gap."""
+
+    start: float
+    end: float
+    shutdown_at: Optional[float]
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    @property
+    def off_window(self) -> Optional[float]:
+        """Seconds from the shutdown command to the next request."""
+        if self.shutdown_at is None:
+            return None
+        return self.end - self.shutdown_at
+
+
+class SimulatedDisk:
+    """Three-state disk (active / idle / standby) with an energy ledger."""
+
+    def __init__(
+        self, params: DiskPowerParameters, start_time: float = 0.0
+    ) -> None:
+        self.params = params
+        self.ledger = EnergyBreakdown()
+        self.shutdown_count = 0
+        self.spinup_count = 0
+        #: Requests that had to wait for a spin-up (the request after
+        #: every shutdown), and the total seconds they waited.
+        self.delayed_requests = 0
+        self.delay_seconds = 0.0
+        #: Delays where the off-window was below breakeven — the user
+        #: was actively working and "has to wait for the disk to spin
+        #: up" (the paper's §6.3 irritation argument).
+        self.irritating_delays = 0
+        self._breakeven = params.breakeven_time()
+        self._busy_until = start_time
+        self._gap_start: Optional[float] = start_time
+        self._shutdown_at: Optional[float] = None
+        self._last_arrival = start_time
+        self._finalized = False
+
+    @property
+    def breakeven_time(self) -> float:
+        return self._breakeven
+
+    @property
+    def busy_until(self) -> float:
+        """Completion time of the last request served so far."""
+        return self._busy_until
+
+    def serve(self, time: float, duration: float) -> Optional[GapReport]:
+        """Serve a request arriving at ``time`` lasting ``duration`` seconds.
+
+        Returns the :class:`GapReport` of the idle gap the request ended,
+        or ``None`` when the disk was still busy (no gap).
+        """
+        self._check_open()
+        if duration < 0:
+            raise ValueError("request duration must be non-negative")
+        if time < self._last_arrival - EPSILON:
+            raise DiskStateError(
+                f"request arrivals must be non-decreasing: {time} after "
+                f"{self._last_arrival}"
+            )
+        self._last_arrival = time
+        if time < self._busy_until - EPSILON:
+            # Back-to-back request: serialize behind the current one.
+            self.ledger.add_busy(self.params.busy_power * duration)
+            self._busy_until += duration
+            self._gap_start = self._busy_until
+            return None
+        report = self._resolve_gap(end=time)
+        self.ledger.add_busy(self.params.busy_power * duration)
+        self._busy_until = time + duration
+        self._gap_start = self._busy_until
+        self._shutdown_at = None
+        return report
+
+    def schedule_shutdown(self, time: float) -> None:
+        """Issue a shutdown at ``time`` (must fall inside the current gap)."""
+        self._check_open()
+        if self._gap_start is None or time < self._gap_start - EPSILON:
+            raise DiskStateError(
+                "shutdown scheduled while the disk is busy or before the gap"
+            )
+        if self._shutdown_at is not None:
+            raise DiskStateError("a shutdown is already pending in this gap")
+        self._shutdown_at = max(time, self._gap_start)
+
+    def finalize(self, time: Optional[float] = None) -> Optional[GapReport]:
+        """Close the ledger at ``time`` (default: last request completion)."""
+        self._check_open()
+        end = self._busy_until if time is None else max(time, self._busy_until)
+        report = self._resolve_gap(end=end, request_follows=False)
+        self._finalized = True
+        return report
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise DiskStateError("disk already finalized")
+
+    def _resolve_gap(
+        self, end: float, request_follows: bool = True
+    ) -> Optional[GapReport]:
+        if self._gap_start is None:
+            self._gap_start = end
+            return None
+        start = self._gap_start
+        if end < start - EPSILON:
+            raise DiskStateError(
+                f"time went backwards: gap start {start}, next event {end}"
+            )
+        end = max(end, start)
+        report = GapReport(start=start, end=end, shutdown_at=self._shutdown_at)
+        self._account_gap(report, request_follows=request_follows)
+        self._gap_start = None
+        self._shutdown_at = None
+        return report
+
+    def _account_gap(
+        self, report: GapReport, request_follows: bool = True
+    ) -> None:
+        params = self.params
+        long_period = report.length > self._breakeven
+        if report.shutdown_at is None:
+            self.ledger.add_idle(
+                params.idle_power * report.length, long_period=long_period
+            )
+            return
+        on_idle = report.shutdown_at - report.start
+        self.ledger.add_idle(params.idle_power * on_idle, long_period=long_period)
+        self.ledger.add_power_cycle(params.cycle_energy)
+        off_window = report.end - report.shutdown_at
+        residence = max(0.0, off_window - params.transition_time)
+        self.ledger.add_standby(
+            params.standby_power * residence, long_period=long_period
+        )
+        self.shutdown_count += 1
+        self.spinup_count += 1
+        # The request ending this gap waits for the spin-up — plus the
+        # tail of the spin-down if it arrived mid-transition.  A trailing
+        # gap (trace end) has no following request and delays nobody.
+        if request_follows:
+            remaining_spin_down = max(
+                0.0, (report.shutdown_at + params.shutdown_time) - report.end
+            )
+            self.delayed_requests += 1
+            self.delay_seconds += params.spinup_time + remaining_spin_down
+            if off_window <= self._breakeven:
+                self.irritating_delays += 1

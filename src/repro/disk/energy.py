@@ -1,0 +1,102 @@
+"""Energy ledger mirroring the components of the paper's Figure 8.
+
+Every joule the simulated disk consumes is attributed to exactly one of
+four buckets:
+
+* ``busy``        — servicing I/O requests;
+* ``idle_short``  — spinning idle inside periods no longer than breakeven;
+* ``idle_long``   — spinning idle (or in standby) inside periods longer
+                    than breakeven — the savings opportunity;
+* ``power_cycle`` — shutdown + spin-up transition energy.
+
+Standby residence energy is charged to the bucket of the idle period it
+occurs in (virtually always ``idle_long``), matching the paper's
+presentation where the residual "idle > breakeven" bar of a predictor is
+whatever the predictor failed to eliminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import approx_equal, non_negative
+
+
+@dataclass(slots=True)
+class EnergyBreakdown:
+    """Mutable ledger of disk energy by Figure-8 component (joules)."""
+
+    busy: float = 0.0
+    idle_short: float = 0.0
+    idle_long: float = 0.0
+    power_cycle: float = 0.0
+    #: Informational sub-component of the idle buckets: energy spent in the
+    #: standby state (already included in idle_short/idle_long).
+    standby: float = 0.0
+
+    def add_busy(self, joules: float) -> None:
+        self.busy += non_negative(joules)
+
+    def add_idle(self, joules: float, *, long_period: bool) -> None:
+        joules = non_negative(joules)
+        if long_period:
+            self.idle_long += joules
+        else:
+            self.idle_short += joules
+
+    def add_standby(self, joules: float, *, long_period: bool) -> None:
+        """Standby residence: charged to an idle bucket and tracked."""
+        joules = non_negative(joules)
+        self.standby += joules
+        self.add_idle(joules, long_period=long_period)
+
+    def add_power_cycle(self, joules: float) -> None:
+        self.power_cycle += non_negative(joules)
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.idle_short + self.idle_long + self.power_cycle
+
+    def fractions_of(self, baseline_total: float) -> dict[str, float]:
+        """Each component as a fraction of ``baseline_total`` (the Base
+        system's energy in Figure 8)."""
+        if baseline_total <= 0:
+            raise ValueError("baseline total must be positive")
+        return {
+            "busy": self.busy / baseline_total,
+            "idle_short": self.idle_short / baseline_total,
+            "idle_long": self.idle_long / baseline_total,
+            "power_cycle": self.power_cycle / baseline_total,
+        }
+
+    def savings_versus(self, baseline: "EnergyBreakdown") -> float:
+        """Fraction of the baseline's total energy this ledger avoided."""
+        if baseline.total <= 0:
+            raise ValueError("baseline energy must be positive")
+        return 1.0 - self.total / baseline.total
+
+    def combined(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Component-wise sum (for aggregating executions)."""
+        return EnergyBreakdown(
+            busy=self.busy + other.busy,
+            idle_short=self.idle_short + other.idle_short,
+            idle_long=self.idle_long + other.idle_long,
+            power_cycle=self.power_cycle + other.power_cycle,
+            standby=self.standby + other.standby,
+        )
+
+    def approx_equals(self, other: "EnergyBreakdown") -> bool:
+        return (
+            approx_equal(self.busy, other.busy)
+            and approx_equal(self.idle_short, other.idle_short)
+            and approx_equal(self.idle_long, other.idle_long)
+            and approx_equal(self.power_cycle, other.power_cycle)
+        )
+
+
+def sum_breakdowns(parts: list[EnergyBreakdown]) -> EnergyBreakdown:
+    """Aggregate many ledgers (e.g. one per execution) into one."""
+    total = EnergyBreakdown()
+    for part in parts:
+        total = total.combined(part)
+    return total

@@ -1,0 +1,98 @@
+"""Multi-power-state disk — the paper's §7 extension.
+
+The paper suggests that "the sliding wait-window can be optimized to put
+the disk into a lower power state immediately, and only shut down after
+the wait-window elapses".  :class:`MultiStateDisk` implements that: when a
+shutdown intent exists, the drive drops into a low-power idle state at the
+*intent* time (typically the end of the triggering I/O) and spins down at
+the scheduled shutdown time (after the wait-window).
+
+The low-power idle state is assumed to be entered and left instantly with
+negligible transition energy — representative of "active idle" vs
+"low-power idle" modes on mobile drives, where only the full spin-down
+carries a large penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.disk.disk import GapReport, SimulatedDisk
+from repro.disk.power_model import DiskPowerParameters
+from repro.errors import DiskStateError
+from repro.units import EPSILON
+
+
+class MultiStateDisk(SimulatedDisk):
+    """Disk with an intermediate low-power idle state.
+
+    In addition to :meth:`schedule_shutdown`, callers may call
+    :meth:`enter_low_power` to mark the moment the drive drops to the
+    low-power idle state inside the current gap.  Energy between that
+    moment and the shutdown (or the gap end, if the shutdown is cancelled
+    by a new request) is charged at ``low_power_idle_power``.
+    """
+
+    def __init__(
+        self, params: DiskPowerParameters, start_time: float = 0.0
+    ) -> None:
+        super().__init__(params, start_time=start_time)
+        self._low_power_at: Optional[float] = None
+
+    def enter_low_power(self, time: float) -> None:
+        """Drop to low-power idle at ``time`` within the current gap."""
+        self._check_open()
+        if self._gap_start is None or time < self._gap_start - EPSILON:
+            raise DiskStateError(
+                "low-power entry scheduled while the disk is busy"
+            )
+        if self._low_power_at is not None:
+            raise DiskStateError("low-power idle already entered in this gap")
+        self._low_power_at = max(time, self._gap_start)
+
+    def serve(self, time: float, duration: float) -> Optional[GapReport]:
+        report = super().serve(time, duration)
+        if report is not None:
+            self._low_power_at = None
+        return report
+
+    def _account_gap(
+        self, report: GapReport, request_follows: bool = True
+    ) -> None:
+        low_power_at = self._low_power_at
+        self._low_power_at = None
+        if low_power_at is None or low_power_at >= report.end - EPSILON:
+            super()._account_gap(report, request_follows=request_follows)
+            return
+        params = self.params
+        long_period = report.length > self.breakeven_time
+        spin_down_at = (
+            report.shutdown_at if report.shutdown_at is not None else report.end
+        )
+        low_power_until = min(spin_down_at, report.end)
+        full_idle = max(0.0, low_power_at - report.start)
+        low_idle = max(0.0, low_power_until - low_power_at)
+        self.ledger.add_idle(
+            params.idle_power * full_idle, long_period=long_period
+        )
+        self.ledger.add_idle(
+            params.low_power_idle_power * low_idle, long_period=long_period
+        )
+        if report.shutdown_at is None:
+            return
+        self.ledger.add_power_cycle(params.cycle_energy)
+        off_window = report.end - report.shutdown_at
+        residence = max(0.0, off_window - params.transition_time)
+        self.ledger.add_standby(
+            params.standby_power * residence, long_period=long_period
+        )
+        self.shutdown_count += 1
+        self.spinup_count += 1
+        if request_follows:
+            remaining_spin_down = max(
+                0.0, (report.shutdown_at + params.shutdown_time) - report.end
+            )
+            self.delayed_requests += 1
+            self.delay_seconds += params.spinup_time + remaining_spin_down
+            if off_window <= self.breakeven_time:
+                self.irritating_delays += 1

@@ -1,0 +1,69 @@
+"""Disk power states and the legal transition graph.
+
+The simulated drive follows the classic three-state model used by the
+paper's Table 2 (Fujitsu MHF 2043 AT):
+
+* ``ACTIVE``  — servicing an I/O request (busy power);
+* ``IDLE``    — platters spinning, no request in flight (idle power);
+* ``STANDBY`` — spun down ("sleeping", standby power);
+
+plus the two transitional pseudo-states that consume fixed energies over
+fixed delays:
+
+* ``SPINNING_DOWN`` — shutdown in progress;
+* ``SPINNING_UP``   — spin-up in progress.
+
+The extension in :mod:`repro.disk.multistate` adds ``LOW_POWER_IDLE``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import DiskStateError
+
+
+class DiskState(enum.Enum):
+    """Power state of the simulated hard disk."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    LOW_POWER_IDLE = "low_power_idle"
+    SPINNING_DOWN = "spinning_down"
+    STANDBY = "standby"
+    SPINNING_UP = "spinning_up"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskState.{self.name}"
+
+
+#: Legal state transitions.  Requests arriving in ``SPINNING_DOWN`` are
+#: modelled as completing the shutdown and immediately spinning up, which
+#: is why ``SPINNING_DOWN -> SPINNING_UP`` is legal.
+LEGAL_TRANSITIONS: dict[DiskState, frozenset[DiskState]] = {
+    DiskState.ACTIVE: frozenset({DiskState.IDLE}),
+    DiskState.IDLE: frozenset(
+        {DiskState.ACTIVE, DiskState.LOW_POWER_IDLE, DiskState.SPINNING_DOWN}
+    ),
+    DiskState.LOW_POWER_IDLE: frozenset(
+        {DiskState.ACTIVE, DiskState.SPINNING_DOWN}
+    ),
+    DiskState.SPINNING_DOWN: frozenset(
+        {DiskState.STANDBY, DiskState.SPINNING_UP}
+    ),
+    DiskState.STANDBY: frozenset({DiskState.SPINNING_UP}),
+    DiskState.SPINNING_UP: frozenset({DiskState.ACTIVE, DiskState.IDLE}),
+}
+
+
+def check_transition(current: DiskState, target: DiskState) -> None:
+    """Raise :class:`DiskStateError` unless ``current -> target`` is legal."""
+    if target not in LEGAL_TRANSITIONS[current]:
+        raise DiskStateError(
+            f"illegal disk transition {current.name} -> {target.name}"
+        )
+
+
+def is_spun_up(state: DiskState) -> bool:
+    """True when the platters are spinning (requests need no spin-up)."""
+    return state in (DiskState.ACTIVE, DiskState.IDLE, DiskState.LOW_POWER_IDLE)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every intentional error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object carries contradictory or illegal values."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (events out of order, unknown pids, ...)."""
+
+
+class TraceFormatError(TraceError):
+    """Serialized trace text could not be parsed."""
+
+
+class DiskStateError(ReproError):
+    """An illegal disk state transition was requested."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class PredictorError(ReproError):
+    """A predictor was driven outside its protocol (e.g. feedback for an
+    idle period that was never announced)."""
+
+
+class PersistenceError(ReproError):
+    """A saved prediction table could not be loaded or written."""

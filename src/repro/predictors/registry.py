@@ -1,0 +1,231 @@
+"""Predictor specifications and the name → factory registry.
+
+A :class:`PredictorSpec` is everything the simulation engine needs to run
+one predictor over one application: a per-process local-predictor factory
+(sharing application-level state such as PCAP's table), an optional
+end-of-execution hook (table reuse policy), and — for the Ideal and Base
+policies that are not realizable online — an omniscient gap-level policy
+instead.
+
+Specs are *stateful* (they own the shared tables) and therefore created
+fresh per (application × predictor) experiment via :func:`make_spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.variants import (
+    PCAPVariant,
+    PCAPVariantConfig,
+    pcap,
+    pcap_a,
+    pcap_c,
+    pcap_f,
+    pcap_fh,
+    pcap_h,
+    pcap_p,
+)
+from repro.errors import ConfigurationError
+from repro.predictors.adaptive_timeout import AdaptiveTimeoutPredictor
+from repro.predictors.always_on import AlwaysOnPolicy
+from repro.predictors.base import LocalPredictor, OmniscientPolicy
+from repro.predictors.exponential_average import ExponentialAveragePredictor
+from repro.predictors.learning_tree import LTVariant
+from repro.predictors.oracle import OraclePolicy
+from repro.predictors.previous_busy import PreviousBusyPredictor
+from repro.predictors.stochastic import StochasticTimeoutPredictor
+from repro.predictors.timeout import TimeoutPredictor
+from repro.config import SimulationConfig
+
+
+@dataclass(slots=True)
+class PredictorSpec:
+    """One runnable predictor configuration.
+
+    Exactly one of ``local_factory`` / ``omniscient`` is set.
+    """
+
+    name: str
+    local_factory: Optional[Callable[[int], LocalPredictor]] = None
+    omniscient: Optional[OmniscientPolicy] = None
+    #: Called at each application exit (table-reuse policy).
+    end_execution_hook: Optional[Callable[[], None]] = None
+    #: Current size of the shared prediction structure, if any.
+    table_size_fn: Optional[Callable[[], int]] = None
+
+    def __post_init__(self) -> None:
+        if (self.local_factory is None) == (self.omniscient is None):
+            raise ConfigurationError(
+                "spec needs exactly one of local_factory / omniscient"
+            )
+
+    @property
+    def is_omniscient(self) -> bool:
+        return self.omniscient is not None
+
+    def on_execution_end(self) -> None:
+        if self.end_execution_hook is not None:
+            self.end_execution_hook()
+
+    @property
+    def table_size(self) -> Optional[int]:
+        return self.table_size_fn() if self.table_size_fn else None
+
+
+def tp_spec(
+    config: SimulationConfig,
+    timeout: Optional[float] = None,
+    name: Optional[str] = None,
+) -> PredictorSpec:
+    """The timeout predictor; ``timeout`` overrides the config's timer
+    (used for the breakeven-timeout variant of §6.3)."""
+    value = config.timeout if timeout is None else timeout
+    if name is None:
+        name = "TP" if timeout is None else f"TP({value:.2f}s)"
+    return PredictorSpec(
+        name=name, local_factory=lambda pid: TimeoutPredictor(value)
+    )
+
+
+def pcap_spec(
+    config: SimulationConfig, variant: Optional[PCAPVariantConfig] = None
+) -> PredictorSpec:
+    """A PCAP family member (base variant by default)."""
+    if variant is None:
+        variant = pcap()
+    resolved = PCAPVariantConfig(
+        wait_window=config.wait_window,
+        backup_timeout=config.timeout,
+        history_length=variant.history_length,
+        use_file_descriptor=variant.use_file_descriptor,
+        reuse_table=variant.reuse_table,
+        share_table_across_processes=variant.share_table_across_processes,
+        use_confidence=variant.use_confidence,
+        table_capacity=variant.table_capacity,
+    )
+    shared = PCAPVariant(resolved)
+    return PredictorSpec(
+        name=shared.name,
+        local_factory=shared.create_local,
+        end_execution_hook=shared.on_execution_end,
+        table_size_fn=lambda: shared.table_size,
+    )
+
+
+def lt_spec(
+    config: SimulationConfig,
+    *,
+    reuse_tree: bool = True,
+    max_depth: Optional[int] = None,
+) -> PredictorSpec:
+    """Learning Tree (LT), or LTa when ``reuse_tree`` is False."""
+    kwargs = {} if max_depth is None else {"max_depth": max_depth}
+    shared = LTVariant(
+        wait_window=config.wait_window,
+        backup_timeout=config.timeout,
+        reuse_tree=reuse_tree,
+        **kwargs,
+    )
+    return PredictorSpec(
+        name=shared.name,
+        local_factory=shared.create_local,
+        end_execution_hook=shared.on_execution_end,
+        table_size_fn=lambda: shared.table_size,
+    )
+
+
+def oracle_spec(config: SimulationConfig) -> PredictorSpec:
+    return PredictorSpec(
+        name="Ideal", omniscient=OraclePolicy(config.breakeven)
+    )
+
+
+def base_spec() -> PredictorSpec:
+    return PredictorSpec(name="Base", omniscient=AlwaysOnPolicy())
+
+
+def exp_spec(config: SimulationConfig, alpha: float = 0.5) -> PredictorSpec:
+    return PredictorSpec(
+        name="EXP",
+        local_factory=lambda pid: ExponentialAveragePredictor(
+            config.breakeven, alpha=alpha, wait_window=config.wait_window
+        ),
+    )
+
+
+def at_spec(config: SimulationConfig) -> PredictorSpec:
+    return PredictorSpec(
+        name="AT",
+        local_factory=lambda pid: AdaptiveTimeoutPredictor(
+            config.breakeven, initial_timeout=config.timeout
+        ),
+    )
+
+
+def pb_spec(config: SimulationConfig, busy_threshold: float = 2.0) -> PredictorSpec:
+    return PredictorSpec(
+        name="PB",
+        local_factory=lambda pid: PreviousBusyPredictor(
+            busy_threshold=busy_threshold, wait_window=config.wait_window
+        ),
+    )
+
+
+def st_spec(config: SimulationConfig) -> PredictorSpec:
+    return PredictorSpec(
+        name="ST",
+        local_factory=lambda pid: StochasticTimeoutPredictor(config.disk),
+    )
+
+
+#: Names accepted by :func:`make_spec`.
+KNOWN_PREDICTORS = (
+    "Base",
+    "Ideal",
+    "TP",
+    "TP-BE",
+    "LT",
+    "LTa",
+    "PCAP",
+    "PCAPh",
+    "PCAPf",
+    "PCAPfh",
+    "PCAPa",
+    "PCAPc",
+    "PCAPp",
+    "EXP",
+    "AT",
+    "PB",
+    "ST",
+)
+
+
+def make_spec(name: str, config: SimulationConfig) -> PredictorSpec:
+    """Build a fresh spec for a predictor by its report name."""
+    builders: dict[str, Callable[[], PredictorSpec]] = {
+        "Base": base_spec,
+        "Ideal": lambda: oracle_spec(config),
+        "TP": lambda: tp_spec(config),
+        "TP-BE": lambda: tp_spec(config, timeout=config.breakeven, name="TP-BE"),
+        "LT": lambda: lt_spec(config),
+        "LTa": lambda: lt_spec(config, reuse_tree=False),
+        "PCAP": lambda: pcap_spec(config, pcap()),
+        "PCAPh": lambda: pcap_spec(config, pcap_h()),
+        "PCAPf": lambda: pcap_spec(config, pcap_f()),
+        "PCAPfh": lambda: pcap_spec(config, pcap_fh()),
+        "PCAPa": lambda: pcap_spec(config, pcap_a()),
+        "PCAPc": lambda: pcap_spec(config, pcap_c()),
+        "PCAPp": lambda: pcap_spec(config, pcap_p()),
+        "EXP": lambda: exp_spec(config),
+        "AT": lambda: at_spec(config),
+        "PB": lambda: pb_spec(config),
+        "ST": lambda: st_spec(config),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown predictor {name!r}; known: {', '.join(KNOWN_PREDICTORS)}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Trace-driven simulation: configuration, engine, metrics, experiments."""
+
+from repro.sim.config import SimulationConfig, paper_config
+from repro.sim.engine import (
+    ExecutionRunResult,
+    evaluate_local_stream,
+    run_global_execution,
+)
+from repro.sim.experiment import ApplicationResult, ExperimentRunner
+from repro.sim.idle_periods import count_opportunities, stream_gaps
+from repro.sim.metrics import PredictionStats
+from repro.sim.sweep import SweepPoint, render_sweep, sweep
+
+__all__ = [
+    "ApplicationResult",
+    "ExecutionRunResult",
+    "ExperimentRunner",
+    "PredictionStats",
+    "SweepPoint",
+    "SimulationConfig",
+    "count_opportunities",
+    "evaluate_local_stream",
+    "paper_config",
+    "render_sweep",
+    "sweep",
+    "run_global_execution",
+    "stream_gaps",
+]

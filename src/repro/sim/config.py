@@ -1,0 +1,7 @@
+"""Shim: the simulation configuration lives in :mod:`repro.config` (it is
+imported by low-level packages and would otherwise drag the whole
+:mod:`repro.sim` package — and a circular import — with it)."""
+
+from repro.config import SimulationConfig, paper_config
+
+__all__ = ["SimulationConfig", "paper_config"]

@@ -1,0 +1,318 @@
+"""The trace-driven simulation engine (paper §6).
+
+Two entry points:
+
+* :func:`evaluate_local_stream` — drive one predictor over one process's
+  own disk-access stream and score it (the *local* evaluation of
+  Figure 6);
+* :func:`run_global_execution` — replay one execution's merged disk
+  stream against the system-wide predictor (Global Shutdown Predictor
+  over per-process locals, or an omniscient Ideal/Base policy), driving
+  the simulated disk for energy accounting (Figures 7–10).
+
+Decision semantics: after each access a process's predictor leaves a
+standing :class:`~repro.predictors.base.ShutdownIntent`; the disk is shut
+down at the earliest instant all live processes' intents are ready,
+provided no request arrives first.  A shutdown's hit/miss classification
+is energy-principled (see :mod:`repro.sim.metrics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cache.filter import DiskAccess, FilterResult
+from repro.core.global_predictor import GlobalShutdownPredictor
+from repro.disk.disk import SimulatedDisk
+from repro.disk.multistate import MultiStateDisk
+from repro.disk.energy import EnergyBreakdown
+from repro.errors import SimulationError
+from repro.predictors.base import (
+    IdleFeedback,
+    LocalPredictor,
+    PredictorSource,
+    ShutdownIntent,
+    classify_gap,
+)
+from repro.predictors.registry import PredictorSpec
+from repro.config import SimulationConfig
+from repro.sim.metrics import PredictionStats
+from repro.traces.events import ExitEvent, ForkEvent, IOEvent
+from repro.traces.trace import ExecutionTrace
+
+_EPS = 1e-9
+
+
+def _resolve_shutdown(
+    intent: ShutdownIntent, gap_length: float
+) -> tuple[Optional[float], Optional[PredictorSource]]:
+    """Offset at which a standing intent fires within a gap, if it does."""
+    if intent.delay is None or intent.delay >= gap_length - _EPS:
+        return None, None
+    return intent.delay, intent.source
+
+
+def evaluate_local_stream(
+    accesses: Sequence[DiskAccess],
+    predictor: LocalPredictor,
+    config: SimulationConfig,
+    *,
+    start_time: float,
+    end_time: float,
+) -> PredictionStats:
+    """Score ``predictor`` over one process's disk-access stream.
+
+    The stream is the process's own accesses; gaps include the leading
+    (process start → first access) and trailing (last access → process
+    end) idle periods.
+    """
+    if end_time < start_time:
+        raise SimulationError("stream ends before it starts")
+    stats = PredictionStats()
+    breakeven = config.breakeven
+    predictor.begin_execution(start_time)
+    intent = predictor.initial_intent(start_time)
+    busy_end = start_time
+    for access in accesses:
+        if access.time > busy_end + _EPS:
+            gap_length = access.time - busy_end
+            offset, source = _resolve_shutdown(intent, gap_length)
+            stats.record_gap(gap_length, offset, source, breakeven)
+            predictor.on_idle_end(
+                IdleFeedback(
+                    start=busy_end,
+                    end=access.time,
+                    idle_class=classify_gap(
+                        gap_length, config.wait_window, breakeven
+                    ),
+                )
+            )
+        intent = predictor.on_access(access)
+        busy_end = max(access.time, busy_end) + config.access_duration(
+            access.block_count
+        )
+    if end_time > busy_end + _EPS:
+        gap_length = end_time - busy_end
+        offset, source = _resolve_shutdown(intent, gap_length)
+        stats.record_gap(gap_length, offset, source, breakeven)
+        # Trailing idle period trains too (the table is saved at exit).
+        predictor.on_idle_end(
+            IdleFeedback(
+                start=busy_end,
+                end=end_time,
+                idle_class=classify_gap(
+                    gap_length, config.wait_window, breakeven
+                ),
+            )
+        )
+    predictor.end_execution(end_time)
+    return stats
+
+
+@dataclass(slots=True)
+class ExecutionRunResult:
+    """Outcome of one execution under one predictor."""
+
+    stats: PredictionStats
+    ledger: EnergyBreakdown
+    shutdowns: int
+    disk_accesses: int
+    #: Requests that waited for a spin-up, the seconds they waited, and
+    #: how many of those waits hit an actively-working user (off-window
+    #: below breakeven) — the paper's user-irritation argument.
+    delayed_requests: int = 0
+    delay_seconds: float = 0.0
+    irritating_delays: int = 0
+
+
+def run_global_execution(
+    execution: ExecutionTrace,
+    filtered: FilterResult,
+    spec: PredictorSpec,
+    config: SimulationConfig,
+    *,
+    multistate: bool = False,
+) -> ExecutionRunResult:
+    """Replay one execution's merged disk stream under ``spec``.
+
+    ``filtered`` must be the cache-filtered view of ``execution``.  The
+    spec's shared state (prediction table, learning tree) carries over
+    between calls — that is how table reuse across executions works; the
+    caller invokes ``spec.on_execution_end()`` after each execution.
+
+    With ``multistate`` (the paper's §7 extension) the drive drops into
+    its low-power idle state as soon as every live process predicts an
+    eventual shutdown, then spins down when the combined decision fires —
+    "the sliding wait-window can be optimized to put the disk into a
+    lower power state immediately".
+    """
+    if spec.is_omniscient:
+        return _run_omniscient(execution, filtered, spec, config)
+    return _run_local_based(
+        execution, filtered, spec, config, multistate=multistate
+    )
+
+
+def _run_omniscient(
+    execution: ExecutionTrace,
+    filtered: FilterResult,
+    spec: PredictorSpec,
+    config: SimulationConfig,
+) -> ExecutionRunResult:
+    policy = spec.omniscient
+    assert policy is not None
+    breakeven = config.breakeven
+    start, end = execution.start_time, execution.end_time
+    disk = SimulatedDisk(config.disk, start_time=start)
+    stats = PredictionStats()
+
+    def handle_gap(gap_length: float) -> None:
+        offset = policy.shutdown_offset(gap_length)
+        if offset is not None and offset < gap_length - _EPS:
+            disk.schedule_shutdown(disk.busy_until + offset)
+            stats.record_gap(
+                gap_length, offset, PredictorSource.PRIMARY, breakeven
+            )
+        else:
+            stats.record_gap(gap_length, None, None, breakeven)
+
+    for access in filtered.accesses:
+        gap_length = access.time - disk.busy_until
+        if gap_length > _EPS:
+            handle_gap(gap_length)
+        disk.serve(access.time, config.access_duration(access.block_count))
+    trailing = end - disk.busy_until
+    if trailing > _EPS:
+        handle_gap(trailing)
+    disk.finalize(end)
+    return ExecutionRunResult(
+        stats=stats,
+        ledger=disk.ledger,
+        shutdowns=disk.shutdown_count,
+        disk_accesses=len(filtered.accesses),
+        delayed_requests=disk.delayed_requests,
+        delay_seconds=disk.delay_seconds,
+        irritating_delays=disk.irritating_delays,
+    )
+
+
+def _run_local_based(
+    execution: ExecutionTrace,
+    filtered: FilterResult,
+    spec: PredictorSpec,
+    config: SimulationConfig,
+    *,
+    multistate: bool = False,
+) -> ExecutionRunResult:
+    assert spec.local_factory is not None
+    breakeven = config.breakeven
+    start, end = execution.start_time, execution.end_time
+    disk: SimulatedDisk
+    if multistate:
+        disk = MultiStateDisk(config.disk, start_time=start)
+    else:
+        disk = SimulatedDisk(config.disk, start_time=start)
+    stats = PredictionStats()
+    combiner = GlobalShutdownPredictor(
+        spec.local_factory,
+        wait_window=config.wait_window,
+        breakeven=breakeven,
+    )
+    for pid in execution.initial_pids:
+        combiner.process_started(start, pid)
+
+    # Merge liveness events with the filtered disk accesses.  Ranks make
+    # forks precede accesses which precede exits at identical times.
+    events: list[tuple[float, int, object]] = []
+    for event in execution.events:
+        if isinstance(event, ForkEvent):
+            events.append((event.time, 0, event))
+        elif isinstance(event, ExitEvent):
+            events.append((event.time, 2, event))
+    for access in filtered.accesses:
+        events.append((access.time, 1, access))
+    events.sort(key=lambda item: (item[0], item[1]))
+
+    # The current gap: starts at disk.busy_until after each access.
+    # ``window_start`` is the start of the sub-interval during which the
+    # current global decision has been stable (liveness changes reset it).
+    window_start = start
+    pending: Optional[tuple[float, PredictorSource]] = None
+    low_power_entered = False
+
+    def try_shutdown(limit: float) -> None:
+        """Fire the global decision inside [window_start, limit) if ready."""
+        nonlocal pending, low_power_entered
+        if pending is not None or limit <= disk.busy_until + _EPS:
+            return
+        decision = combiner.decision()
+        if decision is None:
+            return
+        if multistate and not low_power_entered:
+            entry = max(window_start, disk.busy_until)
+            if entry < limit - _EPS:
+                assert isinstance(disk, MultiStateDisk)
+                disk.enter_low_power(entry)
+                low_power_entered = True
+        fire_at = max(window_start, decision.ready_time, disk.busy_until)
+        if fire_at < limit - _EPS:
+            disk.schedule_shutdown(fire_at)
+            pending = (fire_at, decision.source)
+
+    for time, rank, payload in events:
+        if rank == 1:
+            access = payload
+            assert isinstance(access, DiskAccess)
+            try_shutdown(access.time)
+            gap_length = access.time - disk.busy_until
+            gap_start = disk.busy_until
+            disk.serve(access.time, config.access_duration(access.block_count))
+            if gap_length > _EPS:
+                if pending is not None:
+                    stats.record_gap(
+                        gap_length,
+                        pending[0] - gap_start,
+                        pending[1],
+                        breakeven,
+                    )
+                else:
+                    stats.record_gap(gap_length, None, None, breakeven)
+            if access.pid in combiner.live_pids:
+                combiner.on_access(access, disk.busy_until)
+            pending = None
+            low_power_entered = False
+            window_start = disk.busy_until
+        elif rank == 0:
+            fork = payload
+            assert isinstance(fork, ForkEvent)
+            try_shutdown(fork.time)
+            combiner.process_started(fork.time, fork.pid)
+            window_start = max(window_start, fork.time)
+        else:
+            exit_event = payload
+            assert isinstance(exit_event, ExitEvent)
+            try_shutdown(exit_event.time)
+            combiner.process_exited(exit_event.time, exit_event.pid)
+            window_start = max(window_start, exit_event.time)
+
+    try_shutdown(end)
+    trailing = end - disk.busy_until
+    gap_start = disk.busy_until
+    if trailing > _EPS:
+        if pending is not None:
+            stats.record_gap(
+                trailing, pending[0] - gap_start, pending[1], breakeven
+            )
+        else:
+            stats.record_gap(trailing, None, None, breakeven)
+    disk.finalize(end)
+    return ExecutionRunResult(
+        stats=stats,
+        ledger=disk.ledger,
+        shutdowns=disk.shutdown_count,
+        disk_accesses=len(filtered.accesses),
+        delayed_requests=disk.delayed_requests,
+        delay_seconds=disk.delay_seconds,
+        irritating_delays=disk.irritating_delays,
+    )

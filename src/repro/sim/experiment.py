@@ -1,0 +1,220 @@
+"""Experiment runner: (application × predictor) matrices with table reuse.
+
+The paper's experiments replay each application's whole trace history —
+dozens of executions — under one predictor, with the predictor's shared
+state (PCAP table / LT tree) persisting across executions unless the
+variant discards it.  :class:`ExperimentRunner` owns that loop, caches
+the (deterministic, relatively expensive) cache-filtering step per
+application, and aggregates per-execution results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cache.filter import FilterResult, filter_execution
+from repro.disk.energy import EnergyBreakdown, sum_breakdowns
+from repro.errors import SimulationError
+from repro.predictors.registry import PredictorSpec, make_spec
+from repro.config import SimulationConfig
+from repro.sim.engine import evaluate_local_stream, run_global_execution
+from repro.sim.metrics import PredictionStats
+from repro.traces.trace import ApplicationTrace
+
+
+@dataclass(slots=True)
+class ApplicationResult:
+    """Aggregate of one application's trace history under one predictor."""
+
+    application: str
+    predictor: str
+    stats: PredictionStats
+    ledger: EnergyBreakdown
+    executions: int
+    total_disk_accesses: int
+    shutdowns: int
+    #: Final size of the shared prediction structure, if the predictor
+    #: has one (Table 3).
+    table_size: Optional[int]
+    #: Spin-up latency the policy inflicted (see ExecutionRunResult).
+    delayed_requests: int = 0
+    delay_seconds: float = 0.0
+    irritating_delays: int = 0
+
+    @property
+    def energy(self) -> float:
+        return self.ledger.total
+
+
+class ExperimentRunner:
+    """Runs predictors over a suite of application traces."""
+
+    def __init__(
+        self,
+        suite: dict[str, ApplicationTrace],
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.suite = suite
+        self.config = config or SimulationConfig()
+        self._filtered: dict[str, list[FilterResult]] = {}
+
+    @property
+    def applications(self) -> list[str]:
+        return list(self.suite)
+
+    def with_config(self, config: SimulationConfig) -> "ExperimentRunner":
+        """A runner over the same suite under a different configuration.
+
+        When the cache configuration is unchanged the (expensive)
+        filtering results are shared; parameter sweeps over predictor
+        knobs (wait window, timeout, history length) then cost no
+        re-filtering.
+        """
+        clone = ExperimentRunner(self.suite, config)
+        if config.cache == self.config.cache:
+            clone._filtered = self._filtered
+        return clone
+
+    def filtered(self, application: str) -> list[FilterResult]:
+        """Cache-filtered executions of one application (memoized)."""
+        if application not in self._filtered:
+            trace = self._trace(application)
+            self._filtered[application] = [
+                filter_execution(execution, self.config.cache)
+                for execution in trace
+            ]
+        return self._filtered[application]
+
+    def run_global(
+        self,
+        application: str,
+        predictor: str | PredictorSpec,
+        *,
+        multistate: bool = False,
+    ) -> ApplicationResult:
+        """Whole-trace global run (Figures 7–10, Table 3).
+
+        ``multistate`` enables the §7 low-power-idle extension.
+        """
+        trace = self._trace(application)
+        spec = self._spec(predictor)
+        stats = PredictionStats()
+        ledgers: list[EnergyBreakdown] = []
+        accesses = 0
+        shutdowns = 0
+        peak_table = 0
+        delayed = 0
+        delay_seconds = 0.0
+        irritating = 0
+        for execution, filtered in zip(trace, self.filtered(application)):
+            result = run_global_execution(
+                execution, filtered, spec, self.config,
+                multistate=multistate,
+            )
+            stats.merge(result.stats)
+            ledgers.append(result.ledger)
+            accesses += result.disk_accesses
+            shutdowns += result.shutdowns
+            delayed += result.delayed_requests
+            delay_seconds += result.delay_seconds
+            irritating += result.irritating_delays
+            if spec.table_size is not None:
+                peak_table = max(peak_table, spec.table_size)
+            spec.on_execution_end()
+        return ApplicationResult(
+            application=application,
+            predictor=spec.name,
+            stats=stats,
+            ledger=sum_breakdowns(ledgers),
+            executions=len(trace),
+            total_disk_accesses=accesses,
+            shutdowns=shutdowns,
+            table_size=peak_table if spec.table_size is not None else None,
+            delayed_requests=delayed,
+            delay_seconds=delay_seconds,
+            irritating_delays=irritating,
+        )
+
+    def run_local(
+        self, application: str, predictor: str | PredictorSpec
+    ) -> ApplicationResult:
+        """Per-process local evaluation (Figure 6): every process's own
+        access stream is scored independently; counters are summed over
+        processes and normalized to the application's local idle periods."""
+        trace = self._trace(application)
+        spec = self._spec(predictor)
+        if spec.is_omniscient:
+            raise SimulationError(
+                f"{spec.name} is an omniscient policy; local evaluation "
+                "applies to online predictors only"
+            )
+        assert spec.local_factory is not None
+        stats = PredictionStats()
+        accesses = 0
+        peak_table = 0
+        for execution, filtered in zip(trace, self.filtered(application)):
+            lifetimes = execution.lifetimes()
+            per_process = filtered.per_process()
+            for pid, (start, end) in sorted(lifetimes.items()):
+                stream = per_process.get(pid, [])
+                if not stream:
+                    # A process that never touches the disk encounters no
+                    # disk idle periods (its whole lifetime would
+                    # otherwise count as one giant idle period).
+                    continue
+                predictor_instance = spec.local_factory(pid)
+                stats.merge(
+                    evaluate_local_stream(
+                        stream,
+                        predictor_instance,
+                        self.config,
+                        start_time=start,
+                        end_time=end,
+                    )
+                )
+                accesses += len(stream)
+            if spec.table_size is not None:
+                peak_table = max(peak_table, spec.table_size)
+            spec.on_execution_end()
+        return ApplicationResult(
+            application=application,
+            predictor=spec.name,
+            stats=stats,
+            ledger=EnergyBreakdown(),
+            executions=len(trace),
+            total_disk_accesses=accesses,
+            shutdowns=stats.shutdowns,
+            table_size=peak_table if spec.table_size is not None else None,
+        )
+
+    def run_matrix(
+        self,
+        predictors: Sequence[str],
+        *,
+        mode: str = "global",
+        applications: Optional[Sequence[str]] = None,
+    ) -> dict[str, dict[str, ApplicationResult]]:
+        """``{application: {predictor: result}}`` for a whole figure."""
+        if mode not in ("global", "local"):
+            raise ValueError(f"unknown mode {mode!r}")
+        run = self.run_global if mode == "global" else self.run_local
+        apps = list(applications) if applications else self.applications
+        return {
+            application: {name: run(application, name) for name in predictors}
+            for application in apps
+        }
+
+    def _trace(self, application: str) -> ApplicationTrace:
+        try:
+            return self.suite[application]
+        except KeyError:
+            raise SimulationError(
+                f"unknown application {application!r}; suite has "
+                f"{sorted(self.suite)}"
+            ) from None
+
+    def _spec(self, predictor: str | PredictorSpec) -> PredictorSpec:
+        if isinstance(predictor, PredictorSpec):
+            return predictor
+        return make_spec(predictor, self.config)

@@ -1,0 +1,54 @@
+"""Idle-period extraction used for Table 1 and by tests.
+
+Wraps the gap arithmetic of :mod:`repro.traces.stats` with the engine's
+conventions: the leading gap (execution start → first access) and the
+trailing gap (last access completion → execution end) are both included,
+because both are real disk idle time (mplayer's large buffer-drain idle
+period is a trailing gap).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.traces.stats import Gap
+from repro.units import EPSILON
+
+
+def stream_gaps(
+    times: Sequence[float],
+    service_time: float,
+    *,
+    start_time: float,
+    end_time: float,
+) -> list[Gap]:
+    """All request-free intervals of an access stream within
+    ``[start_time, end_time]``, including leading and trailing gaps."""
+    if end_time < start_time:
+        raise ValueError("stream ends before it starts")
+    gaps: list[Gap] = []
+    busy_until = start_time
+    for time in times:
+        if time > busy_until + EPSILON:
+            gaps.append(Gap(start=busy_until, end=time))
+            busy_until = time + service_time
+        else:
+            busy_until = max(busy_until, time) + service_time
+    if end_time > busy_until + EPSILON:
+        gaps.append(Gap(start=busy_until, end=end_time))
+    return gaps
+
+
+def count_opportunities(
+    times: Sequence[float],
+    service_time: float,
+    breakeven: float,
+    *,
+    start_time: float,
+    end_time: float,
+) -> int:
+    """Number of shutdown opportunities (gaps longer than breakeven)."""
+    gaps = stream_gaps(
+        times, service_time, start_time=start_time, end_time=end_time
+    )
+    return sum(1 for gap in gaps if gap.length > breakeven)

@@ -1,0 +1,157 @@
+"""Prediction accuracy statistics (Figures 6, 7, 9, 10).
+
+Terminology (paper §6.1):
+
+* **opportunity** — an idle period long enough that a shutdown can save
+  energy (longer than the breakeven time); the idle periods of Table 1;
+* **hit** — a shutdown whose device-off window beat the breakeven time,
+  i.e. it actually saved energy;
+* **miss** — a shutdown that lost energy: either issued in a period
+  shorter than breakeven (subpath aliasing, aggressive dynamic
+  predictors) or issued so late in a period that too little off-time
+  remained (a timeout firing 10 s into a 12 s period);
+* **not predicted** — an opportunity during which no shutdown was issued
+  (missed savings).
+
+Fractions are normalized to the opportunity count, exactly like the
+paper's figures — hit + not-predicted ≤ 100 % with misses stacked on top
+(bars reach up to ~140 %).  Hits and misses are attributed to the
+*primary* or *backup* mechanism that made the decision (Figures 9/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.predictors.base import PredictorSource
+
+
+@dataclass(slots=True)
+class PredictionStats:
+    """Counters of one evaluation run (mergeable across processes/runs)."""
+
+    gaps: int = 0
+    opportunities: int = 0
+    hits_primary: int = 0
+    hits_backup: int = 0
+    misses_primary: int = 0
+    misses_backup: int = 0
+    #: Misses that occurred inside opportunity periods (late shutdowns).
+    unsaved_in_opportunity: int = 0
+    #: Total idle (gap) seconds observed, for reporting.
+    idle_seconds: float = 0.0
+
+    def record_gap(
+        self,
+        length: float,
+        shutdown_offset: Optional[float],
+        source: Optional[PredictorSource],
+        breakeven: float,
+    ) -> None:
+        """Account one finished gap.
+
+        ``shutdown_offset`` is the offset from the gap start at which a
+        shutdown was issued (``None`` if none was).
+        """
+        if length < 0:
+            raise SimulationError("negative gap length")
+        self.gaps += 1
+        self.idle_seconds += length
+        opportunity = length > breakeven
+        if opportunity:
+            self.opportunities += 1
+        if shutdown_offset is None:
+            return
+        if source is None:
+            raise SimulationError("shutdown recorded without a source")
+        if shutdown_offset > length:
+            raise SimulationError("shutdown after the gap ended")
+        off_window = length - shutdown_offset
+        if off_window > breakeven:
+            if source == PredictorSource.PRIMARY:
+                self.hits_primary += 1
+            else:
+                self.hits_backup += 1
+        else:
+            if source == PredictorSource.PRIMARY:
+                self.misses_primary += 1
+            else:
+                self.misses_backup += 1
+            if opportunity:
+                self.unsaved_in_opportunity += 1
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.hits_primary + self.hits_backup
+
+    @property
+    def misses(self) -> int:
+        return self.misses_primary + self.misses_backup
+
+    @property
+    def shutdowns(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def not_predicted(self) -> int:
+        return self.opportunities - self.hits - self.unsaved_in_opportunity
+
+    def _fraction(self, count: int) -> float:
+        return count / self.opportunities if self.opportunities else 0.0
+
+    @property
+    def hit_fraction(self) -> float:
+        """Coverage: correctly predicted shutdowns / opportunities."""
+        return self._fraction(self.hits)
+
+    @property
+    def miss_fraction(self) -> float:
+        """Mispredicted shutdowns normalized to opportunities (paper
+        normalization — can exceed the 100 % line)."""
+        return self._fraction(self.misses)
+
+    @property
+    def not_predicted_fraction(self) -> float:
+        return self._fraction(self.not_predicted)
+
+    @property
+    def hit_primary_fraction(self) -> float:
+        return self._fraction(self.hits_primary)
+
+    @property
+    def hit_backup_fraction(self) -> float:
+        return self._fraction(self.hits_backup)
+
+    @property
+    def miss_primary_fraction(self) -> float:
+        return self._fraction(self.misses_primary)
+
+    @property
+    def miss_backup_fraction(self) -> float:
+        return self._fraction(self.misses_backup)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "PredictionStats") -> None:
+        """Fold ``other``'s counters into this instance (in place)."""
+        self.gaps += other.gaps
+        self.opportunities += other.opportunities
+        self.hits_primary += other.hits_primary
+        self.hits_backup += other.hits_backup
+        self.misses_primary += other.misses_primary
+        self.misses_backup += other.misses_backup
+        self.unsaved_in_opportunity += other.unsaved_in_opportunity
+        self.idle_seconds += other.idle_seconds
+
+    @staticmethod
+    def merged(parts: list["PredictionStats"]) -> "PredictionStats":
+        total = PredictionStats()
+        for part in parts:
+            total.merge(part)
+        return total

@@ -1,0 +1,118 @@
+"""Parameter sweep utilities.
+
+The ablation benchmarks (and users exploring the design space) all
+follow one pattern: vary one knob, run a predictor over the suite, and
+collect aggregate accuracy/energy per point.  :func:`sweep` packages
+that loop; the configuration is varied either by rebuilding the
+:class:`~repro.config.SimulationConfig` (sharing the cache-filtering
+work when possible) or by supplying a custom spec factory per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.config import SimulationConfig
+from repro.predictors.registry import PredictorSpec
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.metrics import PredictionStats
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """Aggregate outcome of one parameter value over the suite."""
+
+    value: object
+    hit_fraction: float
+    miss_fraction: float
+    hit_primary_fraction: float
+    hit_backup_fraction: float
+    energy: float
+    savings: float
+    shutdowns: int
+    delayed_requests: int
+    irritating_delays: int
+
+
+def sweep(
+    runner: ExperimentRunner,
+    values: Iterable[P],
+    *,
+    make_config: Optional[Callable[[P], SimulationConfig]] = None,
+    make_spec: Optional[
+        Callable[[P, SimulationConfig], PredictorSpec]
+    ] = None,
+    predictor: str = "PCAP",
+    applications: Optional[Sequence[str]] = None,
+) -> list[SweepPoint]:
+    """Run one predictor across the suite for each parameter value.
+
+    Exactly one of ``make_config`` (vary the simulation configuration;
+    the predictor is resolved by name per point) or ``make_spec`` (vary
+    the predictor itself under the runner's configuration) should be
+    given; with neither, the sweep degenerates to a single-point run per
+    value (useful for comparing predictor names by passing them as the
+    values and ``make_spec=lambda name, cfg: registry.make_spec(...)``).
+    """
+    if make_config is not None and make_spec is not None:
+        raise ValueError("pass make_config or make_spec, not both")
+    apps = list(applications) if applications else runner.applications
+    points: list[SweepPoint] = []
+    for value in values:
+        if make_config is not None:
+            point_runner = runner.with_config(make_config(value))
+        else:
+            point_runner = runner
+        config = point_runner.config
+        stats = PredictionStats()
+        energy = 0.0
+        base_energy = 0.0
+        shutdowns = 0
+        delayed = 0
+        irritating = 0
+        for app in apps:
+            if make_spec is not None:
+                target: str | PredictorSpec = make_spec(value, config)
+            else:
+                target = predictor
+            result = point_runner.run_global(app, target)
+            stats.merge(result.stats)
+            energy += result.energy
+            shutdowns += result.shutdowns
+            delayed += result.delayed_requests
+            irritating += result.irritating_delays
+            base_energy += point_runner.run_global(app, "Base").energy
+        points.append(
+            SweepPoint(
+                value=value,
+                hit_fraction=stats.hit_fraction,
+                miss_fraction=stats.miss_fraction,
+                hit_primary_fraction=stats.hit_primary_fraction,
+                hit_backup_fraction=stats.hit_backup_fraction,
+                energy=energy,
+                savings=1.0 - energy / base_energy if base_energy else 0.0,
+                shutdowns=shutdowns,
+                delayed_requests=delayed,
+                irritating_delays=irritating,
+            )
+        )
+    return points
+
+
+def render_sweep(points: Sequence[SweepPoint], title: str) -> str:
+    """A compact text table of sweep results."""
+    lines = [
+        title,
+        f"  {'value':>10s} {'hit':>7s} {'miss':>7s} {'savings':>8s} "
+        f"{'shutdowns':>9s} {'irritating':>10s}",
+    ]
+    for point in points:
+        lines.append(
+            f"  {point.value!s:>10s} {point.hit_fraction:7.1%} "
+            f"{point.miss_fraction:7.1%} {point.savings:8.1%} "
+            f"{point.shutdowns:9d} {point.irritating_delays:10d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Trace substrate: strace-like event records, containers, serialization,
+and gap statistics."""
+
+from repro.traces.events import (
+    KERNEL_FLUSH_PC,
+    AccessType,
+    ExitEvent,
+    ForkEvent,
+    IOEvent,
+    TraceEvent,
+    event_sort_key,
+)
+from repro.traces.io_format import (
+    read_application_trace,
+    read_executions,
+    write_application_trace,
+    write_execution,
+)
+from repro.traces.stats import (
+    Gap,
+    TraceSummary,
+    access_gaps,
+    count_gaps_longer_than,
+)
+from repro.traces.trace import ApplicationTrace, ExecutionTrace, merge_events
+
+__all__ = [
+    "AccessType",
+    "ApplicationTrace",
+    "ExecutionTrace",
+    "ExitEvent",
+    "ForkEvent",
+    "Gap",
+    "IOEvent",
+    "KERNEL_FLUSH_PC",
+    "TraceEvent",
+    "TraceSummary",
+    "access_gaps",
+    "count_gaps_longer_than",
+    "event_sort_key",
+    "merge_events",
+    "read_application_trace",
+    "read_executions",
+    "write_application_trace",
+    "write_execution",
+]

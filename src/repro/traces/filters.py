@@ -1,0 +1,55 @@
+"""Small trace filtering utilities used by tests, examples, and analysis."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.traces.events import AccessType, IOEvent, TraceEvent
+from repro.traces.trace import ExecutionTrace
+
+
+def filter_events(
+    execution: ExecutionTrace,
+    predicate: Callable[[TraceEvent], bool],
+) -> ExecutionTrace:
+    """A copy of ``execution`` keeping only events satisfying ``predicate``.
+
+    Fork/exit events are always kept so process liveness stays valid.
+    """
+    kept = [
+        event
+        for event in execution.events
+        if not isinstance(event, IOEvent) or predicate(event)
+    ]
+    return ExecutionTrace(
+        application=execution.application,
+        execution_index=execution.execution_index,
+        events=kept,
+        initial_pids=execution.initial_pids,
+    )
+
+
+def only_pid(execution: ExecutionTrace, pid: int) -> ExecutionTrace:
+    """Keep only the I/O of one process."""
+    return filter_events(
+        execution, lambda e: isinstance(e, IOEvent) and e.pid == pid
+    )
+
+
+def only_kind(execution: ExecutionTrace, kind: AccessType) -> ExecutionTrace:
+    """Keep only one access type."""
+    return filter_events(
+        execution, lambda e: isinstance(e, IOEvent) and e.kind == kind
+    )
+
+
+def time_window(
+    execution: ExecutionTrace, start: float, end: float
+) -> ExecutionTrace:
+    """Keep only I/O with ``start <= time <= end``."""
+    if end < start:
+        raise ValueError("window end before start")
+    return filter_events(
+        execution,
+        lambda e: isinstance(e, IOEvent) and start <= e.time <= end,
+    )

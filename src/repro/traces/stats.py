@@ -1,0 +1,87 @@
+"""Gap extraction and raw trace statistics.
+
+This is the single home of the idle-gap arithmetic the rest of the
+library builds on: given the times of consecutive disk accesses (each
+occupying the disk for a service time), the *gaps* are the intervals the
+disk spends with no request.  The taxonomy the paper uses on top of the
+gaps (wait-window / short / long a.k.a. shutdown opportunity) lives in
+:mod:`repro.sim.idle_periods`, which classifies the gaps produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.units import EPSILON
+
+
+@dataclass(frozen=True, slots=True)
+class Gap:
+    """A request-free disk interval ``[start, end]``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - EPSILON:
+            raise ValueError(f"gap ends ({self.end}) before it starts ({self.start})")
+
+    @property
+    def length(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def access_gaps(
+    times: Sequence[float],
+    service_time: float,
+    *,
+    stream_end: float | None = None,
+) -> list[Gap]:
+    """Gaps between consecutive accesses.
+
+    ``times`` are access arrival times (ascending); each access holds the
+    disk busy for ``service_time`` seconds, with back-to-back arrivals
+    serialized.  When ``stream_end`` is given a trailing gap up to it is
+    included (the idle tail after the last access).
+    """
+    if service_time < 0:
+        raise ValueError("service time must be non-negative")
+    gaps: list[Gap] = []
+    busy_until: float | None = None
+    for time in times:
+        if busy_until is not None:
+            if time < busy_until - EPSILON:
+                busy_until += service_time  # serialized request
+                continue
+            gaps.append(Gap(start=busy_until, end=max(time, busy_until)))
+        busy_until = time + service_time
+    if stream_end is not None and busy_until is not None:
+        if stream_end > busy_until + EPSILON:
+            gaps.append(Gap(start=busy_until, end=stream_end))
+    return gaps
+
+
+def count_gaps_longer_than(gaps: Iterable[Gap], threshold: float) -> int:
+    """Number of gaps strictly longer than ``threshold`` seconds."""
+    return sum(1 for gap in gaps if gap.length > threshold)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Raw (pre-cache) statistics of one application's trace history."""
+
+    application: str
+    executions: int
+    total_io_events: int
+    total_processes: int
+
+    @staticmethod
+    def of(trace) -> "TraceSummary":
+        """Summarize an :class:`~repro.traces.trace.ApplicationTrace`."""
+        return TraceSummary(
+            application=trace.application,
+            executions=len(trace.executions),
+            total_io_events=trace.total_io_count,
+            total_processes=sum(len(e.pids) for e in trace.executions),
+        )

@@ -1,0 +1,158 @@
+"""Trace containers: one execution of an application, and an application's
+whole trace history (many executions).
+
+An :class:`ExecutionTrace` holds the time-ordered events of a single run
+of an application — possibly many processes, delimited by fork/exit
+events.  :class:`ApplicationTrace` bundles the successive executions of
+one application (the paper traces e.g. 49 separate runs of mozilla), which
+is the unit the prediction-table-reuse experiments operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.traces.events import (
+    ExitEvent,
+    ForkEvent,
+    IOEvent,
+    TraceEvent,
+    event_sort_key,
+)
+
+
+@dataclass(slots=True)
+class ExecutionTrace:
+    """Events of one execution (one launch-to-exit) of an application."""
+
+    application: str
+    execution_index: int
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Pids alive at trace start (the root process(es) of the application).
+    initial_pids: frozenset[int] = frozenset()
+
+    def sorted(self) -> "ExecutionTrace":
+        """A copy with events in canonical order."""
+        return ExecutionTrace(
+            application=self.application,
+            execution_index=self.execution_index,
+            events=sorted(self.events, key=event_sort_key),
+            initial_pids=self.initial_pids,
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` on ordering or liveness violations."""
+        alive: set[int] = set(self.initial_pids)
+        previous_key: tuple[float, int] | None = None
+        for event in self.events:
+            key = event_sort_key(event)
+            if previous_key is not None and key < previous_key:
+                raise TraceError(
+                    f"{self.application}#{self.execution_index}: events out "
+                    f"of order at t={event.time}"
+                )
+            previous_key = key
+            if isinstance(event, ForkEvent):
+                if event.parent_pid not in alive:
+                    raise TraceError(
+                        f"fork from dead/unknown pid {event.parent_pid}"
+                    )
+                if event.pid in alive:
+                    raise TraceError(f"fork of already-alive pid {event.pid}")
+                alive.add(event.pid)
+            elif isinstance(event, ExitEvent):
+                if event.pid not in alive:
+                    raise TraceError(f"exit of dead/unknown pid {event.pid}")
+                alive.discard(event.pid)
+            else:
+                if event.pid not in alive:
+                    raise TraceError(
+                        f"I/O from dead/unknown pid {event.pid} at "
+                        f"t={event.time}"
+                    )
+
+    @property
+    def io_events(self) -> list[IOEvent]:
+        return [e for e in self.events if isinstance(e, IOEvent)]
+
+    @property
+    def pids(self) -> set[int]:
+        pids = set(self.initial_pids)
+        pids.update(e.pid for e in self.events if isinstance(e, ForkEvent))
+        return pids
+
+    @property
+    def start_time(self) -> float:
+        return self.events[0].time if self.events else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+    def per_process_io(self) -> dict[int, list[IOEvent]]:
+        """I/O events grouped by pid, preserving order."""
+        grouped: dict[int, list[IOEvent]] = {pid: [] for pid in self.pids}
+        for event in self.io_events:
+            grouped.setdefault(event.pid, []).append(event)
+        return grouped
+
+    def lifetimes(self) -> dict[int, tuple[float, float]]:
+        """``pid -> (start, end)`` liveness interval of every process."""
+        start: dict[int, float] = {
+            pid: self.start_time for pid in self.initial_pids
+        }
+        end: dict[int, float] = {}
+        for event in self.events:
+            if isinstance(event, ForkEvent):
+                start[event.pid] = event.time
+            elif isinstance(event, ExitEvent):
+                end[event.pid] = event.time
+        return {
+            pid: (begin, end.get(pid, self.end_time))
+            for pid, begin in start.items()
+        }
+
+
+@dataclass(slots=True)
+class ApplicationTrace:
+    """All traced executions of one application, oldest first."""
+
+    application: str
+    executions: list[ExecutionTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for execution in self.executions:
+            if execution.application != self.application:
+                raise TraceError(
+                    f"execution of {execution.application!r} inside the "
+                    f"trace of {self.application!r}"
+                )
+
+    def __iter__(self) -> Iterator[ExecutionTrace]:
+        return iter(self.executions)
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    def append(self, execution: ExecutionTrace) -> None:
+        if execution.application != self.application:
+            raise TraceError(
+                f"cannot add execution of {execution.application!r} to the "
+                f"trace of {self.application!r}"
+            )
+        self.executions.append(execution)
+
+    @property
+    def total_io_count(self) -> int:
+        return sum(len(e.io_events) for e in self.executions)
+
+
+def merge_events(streams: Iterable[Iterable[TraceEvent]]) -> list[TraceEvent]:
+    """Merge several event streams into canonical order."""
+    merged: list[TraceEvent] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=event_sort_key)
+    return merged

@@ -1,0 +1,54 @@
+"""Units, constants, and small numeric helpers.
+
+The whole library measures **time in seconds** (float), **power in watts**
+and **energy in joules**.  These helpers exist so magnitudes are written
+with intent (``ms(35)`` instead of ``0.035``) and so floating-point
+comparisons are made consistently everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Tolerance used for float comparisons of times and energies throughout
+#: the simulator.  Events closer together than this are considered
+#: simultaneous.
+EPSILON: float = 1e-9
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / 1000.0
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * 60.0
+
+
+def kb(value: float) -> int:
+    """Convert kibibytes to bytes."""
+    return int(value * 1024)
+
+
+def mb(value: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def approx_equal(a: float, b: float, tol: float = EPSILON) -> bool:
+    """True when ``a`` and ``b`` are within ``tol`` absolutely or 1e-9
+    relatively; suitable for energies accumulated over many events."""
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=tol)
+
+
+def non_negative(value: float) -> float:
+    """Clamp tiny negative float noise to exactly zero.
+
+    Energy and duration arithmetic can produce values like ``-1e-15``;
+    clamping keeps ledgers clean.  Genuinely negative values are a bug and
+    raise ``ValueError``.
+    """
+    if value < -1e-6:
+        raise ValueError(f"expected a non-negative quantity, got {value!r}")
+    return max(0.0, value)

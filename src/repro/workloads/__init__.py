@@ -1,0 +1,73 @@
+"""Synthetic workload substrate: behaviour models of the paper's six
+traced applications (Table 1), plus the generator machinery."""
+
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    burst,
+    read_loop,
+    routine,
+)
+from repro.workloads.extremes import (
+    build_chaos,
+    build_clockwork,
+    build_extremes,
+    build_shapeshifter,
+)
+from repro.workloads.calibration import (
+    CalibrationRow,
+    calibration_report,
+    render_calibration,
+)
+from repro.workloads.base import (
+    ApplicationSpec,
+    FileSpace,
+    TraceBuilder,
+    build_application_trace,
+    build_execution,
+)
+from repro.workloads.rng import lognormal, make_rng, stable_pc, stable_seed
+from repro.workloads.suite import (
+    APPLICATIONS,
+    application_spec,
+    build_application,
+    build_suite,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationSpec",
+    "CalibrationRow",
+    "FileSpace",
+    "HelperProcess",
+    "IOStep",
+    "Phase",
+    "Routine",
+    "RoutineMix",
+    "Think",
+    "ThinkTimeModel",
+    "TraceBuilder",
+    "application_spec",
+    "build_application",
+    "build_application_trace",
+    "build_execution",
+    "build_chaos",
+    "build_clockwork",
+    "build_extremes",
+    "build_shapeshifter",
+    "build_suite",
+    "burst",
+    "calibration_report",
+    "lognormal",
+    "make_rng",
+    "read_loop",
+    "render_calibration",
+    "routine",
+    "stable_pc",
+    "stable_seed",
+]

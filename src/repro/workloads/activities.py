@@ -1,0 +1,246 @@
+"""Primitives of the workload behaviour models.
+
+An application's I/O behaviour is modelled as a repertoire of
+**routines** — user actions such as "load a web page" or "save the
+document".  A routine is a sequence of **phases**; each phase is a burst
+of :class:`IOStep` operations followed by a **think time** drawn from one
+of a handful of think-time classes.  Routines reference code locations by
+*function name* (mapped to stable PCs) and files by *logical name*
+(mapped to stable inodes/blocks), which is what makes PC paths repeat
+across executions — the structure PCAP exploits.
+
+Think-time classes and their role in the reproduction:
+
+* ``TYPING``    — sub-wait-window pauses (< 1 s): invisible to predictors;
+* ``PAUSE``     — short idle periods (1.5–5 s): shutdown here is a miss;
+* ``BROWSE``    — 7–10 s reading pauses: opportunities a 10 s timeout
+  predictor sleeps through but dynamic predictors harvest;
+* ``HESITATE``  — 10.5–15 s: the narrow band where a 10 s timeout fires
+  but the remaining off-window is below breakeven (a TP miss);
+* ``AWAY``      — heavy-tailed long absences (> 15.5 s): everyone's
+  bread-and-butter opportunity.
+
+User think times are strongly bimodal (quick interactions vs walking
+away), which is why the paper's 10-second TP has very few mispredictions:
+the HESITATE band is nearly empty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.events import AccessType
+from repro.workloads.rng import lognormal, uniform
+
+
+class Think(enum.Enum):
+    """Think-time class following a phase."""
+
+    NONE = "none"  # phases glued together (same burst)
+    TYPING = "typing"
+    PAUSE = "pause"
+    BROWSE = "browse"
+    HESITATE = "hesitate"
+    AWAY = "away"
+
+
+@dataclass(frozen=True, slots=True)
+class ThinkTimeModel:
+    """Per-application think-time distribution parameters (seconds)."""
+
+    typing: tuple[float, float] = (0.12, 0.9)
+    pause: tuple[float, float] = (1.6, 4.8)
+    browse: tuple[float, float] = (7.0, 10.0)
+    hesitate: tuple[float, float] = (10.5, 15.0)
+    away_median: float = 40.0
+    away_sigma: float = 0.85
+    away_min: float = 15.6
+    away_max: float = 900.0
+
+    def sample(self, think: Think, rng: np.random.Generator) -> float:
+        if think == Think.NONE:
+            return 0.0
+        if think == Think.TYPING:
+            return uniform(rng, *self.typing)
+        if think == Think.PAUSE:
+            return uniform(rng, *self.pause)
+        if think == Think.BROWSE:
+            return uniform(rng, *self.browse)
+        if think == Think.HESITATE:
+            return uniform(rng, *self.hesitate)
+        return lognormal(
+            rng,
+            self.away_median,
+            self.away_sigma,
+            low=self.away_min,
+            high=self.away_max,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class IOStep:
+    """One I/O operation inside a burst.
+
+    ``function`` names the code location (stable PC); ``file`` names the
+    logical file (stable inode).  ``fresh`` steps read never-before-seen
+    blocks (cache-cold content: page downloads, media streams);
+    non-fresh steps re-read the file's first blocks (cache-hot libraries
+    and configuration).
+    """
+
+    function: str
+    file: str
+    fd: int
+    blocks: int = 1
+    kind: AccessType = AccessType.READ
+    pre_gap: float = 0.008
+    fresh: bool = False
+    #: Repeat the step this many times (loop reading a file).
+    repeat: int = 1
+    #: Run on the named helper process instead of the main process
+    #: (thread-level I/O inside a routine, e.g. mplayer's audio thread).
+    process: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.blocks < 0 or self.repeat < 1:
+            raise ConfigurationError("blocks >= 0 and repeat >= 1 required")
+        if self.pre_gap < 0:
+            raise ConfigurationError("pre_gap must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """A burst of I/O steps followed by a think time."""
+
+    steps: tuple[IOStep, ...]
+    think: Think
+
+
+@dataclass(frozen=True, slots=True)
+class Routine:
+    """A repeatable user action: one or more phases.
+
+    Multi-phase routines with non-final ``PAUSE`` thinks are the source
+    of subpath aliasing (§4.1): the PC path up to an intermediate pause
+    can equal a trained full path, triggering a mispredicted shutdown.
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError(f"routine {self.name!r} has no phases")
+
+    @property
+    def io_count(self) -> int:
+        return sum(
+            step.repeat for phase in self.phases for step in phase.steps
+        )
+
+
+def burst(*steps: IOStep, think: Think = Think.AWAY) -> Phase:
+    """Convenience constructor for a single phase."""
+    return Phase(steps=tuple(steps), think=think)
+
+
+def routine(name: str, *phases: Phase) -> Routine:
+    return Routine(name=name, phases=tuple(phases))
+
+
+def read_loop(
+    function: str,
+    file: str,
+    fd: int,
+    *,
+    count: int,
+    blocks: int = 1,
+    fresh: bool = True,
+    pre_gap: float = 0.006,
+) -> IOStep:
+    """A tight loop of ``count`` reads (one step with ``repeat``)."""
+    return IOStep(
+        function=function,
+        file=file,
+        fd=fd,
+        blocks=blocks,
+        fresh=fresh,
+        pre_gap=pre_gap,
+        repeat=count,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class HelperProcess:
+    """A helper process that piggybacks on the main process's routines.
+
+    With probability ``participation`` it performs its ``steps`` shortly
+    (``delay`` seconds) after a routine that ends in a reading/away
+    pause — helper daemons do their disk work when the user pauses —
+    and with probability ``background_participation`` after any other
+    routine.  This shadows the main process's idle-period structure,
+    giving the paper's multi-process applications (mozilla, writer,
+    impress) their >1 local-to-global idle-period ratios without
+    flooding the disk with short helper gaps.
+    """
+
+    name: str
+    steps: tuple[IOStep, ...]
+    participation: float = 0.9
+    background_participation: float = 0.02
+    delay: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.participation <= 1.0:
+            raise ConfigurationError("participation must be in [0, 1]")
+        if not 0.0 <= self.background_participation <= 1.0:
+            raise ConfigurationError(
+                "background participation must be in [0, 1]"
+            )
+        if self.delay < 0:
+            raise ConfigurationError("delay must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class WeightedRoutine:
+    routine: Routine
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError("routine weight must be positive")
+
+
+@dataclass(slots=True)
+class RoutineMix:
+    """Weighted repertoire plus phase-clustering behaviour.
+
+    ``cluster`` is the probability of repeating the previous routine
+    choice (a first-order Markov "phase" structure): users do the same
+    kind of action in runs.  Clustering is what gives the idle-history
+    register (PCAPh) and the learning tree their predictive signal.
+    """
+
+    entries: list[WeightedRoutine] = field(default_factory=list)
+    cluster: float = 0.0
+
+    def add(self, routine_: Routine, weight: float) -> "RoutineMix":
+        self.entries.append(WeightedRoutine(routine_, weight))
+        return self
+
+    def choose(
+        self, rng: np.random.Generator, previous: Routine | None
+    ) -> Routine:
+        if not self.entries:
+            raise ConfigurationError("empty routine mix")
+        if previous is not None and self.cluster > 0:
+            if rng.random() < self.cluster:
+                return previous
+        weights = np.array([e.weight for e in self.entries], dtype=float)
+        weights /= weights.sum()
+        index = int(rng.choice(len(self.entries), p=weights))
+        return self.entries[index].routine

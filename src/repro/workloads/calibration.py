@@ -1,0 +1,129 @@
+"""Calibration of the synthetic suite against the paper's Table 1.
+
+The workload models are tuned so the generated traces match the paper's
+trace-collection statistics.  :func:`calibration_report` measures the
+live suite against those targets and flags rows outside tolerance —
+used by the Table 1 benchmark and by anyone modifying the workload
+models (``python tools/calibrate.py`` wraps it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.paper_data import PAPER_TABLE1
+from repro.config import SimulationConfig
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.idle_periods import stream_gaps
+
+#: Acceptable measured/paper ratios at scale 1.0 (synthetic traces are
+#: calibrated for shape, not exact counts).
+DEFAULT_TOLERANCE = (0.5, 1.7)
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationRow:
+    """Measured-vs-paper statistics of one application."""
+
+    application: str
+    executions: int
+    paper_executions: int
+    global_idle: int
+    paper_global_idle: int
+    local_idle: int
+    paper_local_idle: int
+    total_ios: int
+    paper_total_ios: int
+
+    @property
+    def global_ratio(self) -> float:
+        return self.global_idle / self.paper_global_idle
+
+    @property
+    def local_ratio(self) -> float:
+        return self.local_idle / self.paper_local_idle
+
+    @property
+    def io_ratio(self) -> float:
+        return self.total_ios / self.paper_total_ios
+
+    def within(self, low: float, high: float) -> bool:
+        return all(
+            low <= ratio <= high
+            for ratio in (self.global_ratio, self.local_ratio, self.io_ratio)
+        )
+
+
+def calibration_report(
+    runner: ExperimentRunner,
+) -> list[CalibrationRow]:
+    """Measure each suite application against its Table 1 row.
+
+    Only meaningful at (or near) scale 1.0 — the paper's counts scale
+    with the number of executions and actions.
+    """
+    config = runner.config
+    rows: list[CalibrationRow] = []
+    for application, trace in runner.suite.items():
+        paper = PAPER_TABLE1.get(application)
+        if paper is None:
+            continue
+        paper_exec, paper_global, paper_local, paper_ios = paper
+        global_count = 0
+        local_count = 0
+        for execution, filtered in zip(trace, runner.filtered(application)):
+            gaps = stream_gaps(
+                [a.time for a in filtered.accesses],
+                config.service_time,
+                start_time=execution.start_time,
+                end_time=execution.end_time,
+            )
+            global_count += sum(
+                1 for gap in gaps if gap.length > config.breakeven
+            )
+            per_process = filtered.per_process()
+            for pid, (start, end) in execution.lifetimes().items():
+                accesses = per_process.get(pid, [])
+                if not accesses:
+                    continue
+                process_gaps = stream_gaps(
+                    [a.time for a in accesses],
+                    config.service_time,
+                    start_time=start,
+                    end_time=end,
+                )
+                local_count += sum(
+                    1 for gap in process_gaps
+                    if gap.length > config.breakeven
+                )
+        rows.append(
+            CalibrationRow(
+                application=application,
+                executions=len(trace),
+                paper_executions=paper_exec,
+                global_idle=global_count,
+                paper_global_idle=paper_global,
+                local_idle=local_count,
+                paper_local_idle=paper_local,
+                total_ios=trace.total_io_count,
+                paper_total_ios=paper_ios,
+            )
+        )
+    return rows
+
+
+def render_calibration(rows: list[CalibrationRow]) -> str:
+    lines = [
+        "Suite calibration vs paper Table 1 (ratios measured/paper)",
+        f"  {'app':9s} {'exec':>9s} {'global':>7s} {'local':>7s} "
+        f"{'I/Os':>7s}  status",
+    ]
+    low, high = DEFAULT_TOLERANCE
+    for row in rows:
+        status = "ok" if row.within(low, high) else "OUT OF TOLERANCE"
+        lines.append(
+            f"  {row.application:9s} {row.executions:4d}/{row.paper_executions:<4d} "
+            f"{row.global_ratio:7.2f} {row.local_ratio:7.2f} "
+            f"{row.io_ratio:7.2f}  {status}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""OpenOffice Impress workload model.
+
+Paper (§6): "Impress is also an Open Office application and is used to
+prepare presentation slides" — the heaviest I/O consumer of the suite
+(graphic filters, clipart galleries, slide renders), with long
+slide-design pauses between bursts.
+
+Model: Office-scale startup, slide editing bursts with gallery and
+filter traffic, slide renders, and an ``insert_image`` routine whose
+gallery-browse burst aliases the trained slide-design path before the
+graphic filter loads (subpath aliasing).  Two helper processes (render
+and thumbnail daemons) give the ~2.7× local-to-global ratio.
+
+Table 1 targets: 19 executions, ~220 455 I/Os (~11 600 per execution),
+~4.6 global long idle periods per execution.
+"""
+
+from __future__ import annotations
+
+from repro.traces.events import AccessType
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    read_loop,
+)
+from repro.workloads.base import ApplicationSpec
+
+
+def _edit_burst(kind: str = "text") -> tuple[IOStep, ...]:
+    """Editing one slide: shapes, fonts, undo traffic (~210 I/Os).
+
+    ``kind`` selects the slide-element code path ("text", "shape",
+    "chart"): editing different elements pages in different fresh data.
+    """
+    kinds = {
+        "text": "slide_text_cache_read",
+        "shape": "slide_shape_cache_read",
+        "chart": "slide_chart_cache_read",
+    }
+    return (
+        read_loop("shape_lib_read", "libshapes", 3, count=70, fresh=False),
+        read_loop("font_metrics", "fonts", 4, count=55, fresh=False),
+        read_loop("style_sheet_read", "styles", 5, count=54, fresh=False),
+        IOStep(function=kinds[kind], file="slidecache", fd=7, blocks=4, fresh=True, repeat=4),
+        read_loop("gallery_index_read", "galleryidx", 8, count=27, fresh=False),
+    )
+
+
+def _render_burst() -> tuple[IOStep, ...]:
+    """Rendering the slide preview (~160 I/Os)."""
+    return (
+        read_loop("render_lib_read", "librender", 3, count=60, fresh=False),
+        read_loop("texture_read", "textures", 10, count=85, fresh=False),
+        IOStep(function="preview_meta_read", file="previews", fd=9, blocks=1, fresh=True, repeat=15),
+    )
+
+
+def _gallery_browse() -> tuple[IOStep, ...]:
+    """Browsing the clipart gallery (~120 I/Os)."""
+    return (
+        read_loop("gallery_index_read", "galleryidx", 8, count=40, fresh=False),
+        IOStep(function="thumbnail_read", file="gallery", fd=11, blocks=2, fresh=True, repeat=30),
+        read_loop("font_metrics", "fonts", 4, count=50, fresh=False),
+    )
+
+
+def _filter_load() -> tuple[IOStep, ...]:
+    """Graphic import filter libraries (~130 I/Os)."""
+    return (
+        read_loop("filter_lib_load", "libgraphfilter", 3, count=75, fresh=False),
+        IOStep(function="image_import_read", file="images", fd=12, blocks=16, fresh=True, repeat=4),
+        read_loop("color_profile_read", "iccprofiles", 13, count=51, fresh=False),
+    )
+
+
+def _startup() -> Routine:
+    """Office suite + Impress component launch (~3 100 I/Os)."""
+    return Routine(
+        name="startup",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("ld_load_soffice", "libsoffice", 3, count=820, fresh=False),
+                    read_loop("ld_load_impress", "libimpress", 3, count=540, fresh=False),
+                    read_loop("registry_read", "registry", 4, count=380, fresh=False),
+                    IOStep(function="presentation_open", file="presentation", fd=14, blocks=8, fresh=True, repeat=20),
+                    read_loop("template_gallery_scan", "templates", 5, count=700, fresh=False),
+                    read_loop("font_cache_build", "fonts", 6, count=500, fresh=False),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _routines() -> RoutineMix:
+    mix = RoutineMix(cluster=0.72)
+    mix.add(Routine("edit_text", (Phase(_edit_burst("text"), Think.TYPING),)), 18)
+    mix.add(Routine("edit_shape", (Phase(_edit_burst("shape"), Think.TYPING),)), 13)
+    mix.add(Routine("edit_chart", (Phase(_edit_burst("chart"), Think.TYPING),)), 9)
+    mix.add(
+        Routine(
+            "zoom_and_pause",
+            (Phase(_edit_burst("text") + (IOStep(function="zoom_reposition", file="previews", fd=9, blocks=2, fresh=True),), Think.PAUSE),),
+        ),
+        3,
+    )
+    mix.add(Routine("render_preview", (Phase(_render_burst(), Think.BROWSE),)), 3.0)
+    # Designing: the long creative pauses after an edit burst.
+    mix.add(Routine("design_think", (Phase(_edit_burst("text"), Think.AWAY),)), 0.9)
+    # Aliasing: gallery browse pauses briefly, then the filter loads.
+    mix.add(
+        Routine(
+            "insert_image",
+            (
+                Phase(_gallery_browse(), Think.PAUSE),
+                Phase(_filter_load(), Think.AWAY),
+            ),
+        ),
+        0.7,
+    )
+    # Plain gallery browse ending in a long look at the result.
+    mix.add(Routine("browse_gallery", (Phase(_gallery_browse(), Think.AWAY),)), 0.4)
+    mix.add(Routine("hesitate", (Phase(_edit_burst("text"), Think.HESITATE),)), 0.25)
+    mix.add(
+        Routine(
+            "save_presentation",
+            (
+                Phase(
+                    (
+                        IOStep(function="pres_write", file="presentation", fd=14, blocks=8, kind=AccessType.SYNC_WRITE, repeat=6),
+                        read_loop("filter_lib_load", "libgraphfilter", 3, count=30, fresh=False),
+                    ),
+                    Think.TYPING,
+                ),
+            ),
+        ),
+        2,
+    )
+    return mix
+
+
+def _helpers() -> tuple[HelperProcess, ...]:
+    """Two identical render-worker instances.
+
+    Office spawns interchangeable worker processes running the same
+    code, so both workers execute the same functions on the same queue —
+    the case where the paper's application-level prediction table pays
+    off: one worker's training covers its twin (§5, "some of them may
+    be from a single application").
+    """
+    worker_steps = (
+        IOStep(function="render_queue_read", file="renderqueue", fd=15, blocks=2, fresh=True),
+    )
+    return (
+        HelperProcess(
+            name="render_worker_1",
+            steps=worker_steps,
+            participation=0.85,
+            delay=0.45,
+        ),
+        HelperProcess(
+            name="render_worker_2",
+            steps=worker_steps,
+            participation=0.82,
+            delay=0.7,
+        ),
+    )
+
+
+def spec() -> ApplicationSpec:
+    """The impress application model (Table 1 row 3)."""
+    return ApplicationSpec(
+        name="impress",
+        executions=19,
+        startup=_startup(),
+        closing=Routine(
+            "final_save",
+            (
+                Phase(
+                    (IOStep(function="pres_write", file="presentation", fd=14, blocks=8, kind=AccessType.SYNC_WRITE, repeat=6),),
+                    Think.TYPING,
+                ),
+            ),
+        ),
+        mix=_routines(),
+        think_model=ThinkTimeModel(away_median=120.0, away_sigma=0.8),
+        helpers=_helpers(),
+        actions_mean=42.0,
+        actions_sd=7.0,
+        novel_probability=0.02,
+    )

@@ -1,0 +1,179 @@
+"""Mozilla workload model.
+
+Paper (§6): "Mozilla is a web browser and the user spends time reading
+the page content and following the links.  The I/O behavior depends on
+the content of the page and the interests of the user" — and "some pages
+require loading additional libraries (additional I/Os) to decode the
+multimedia context and some do not", the paper's own example of subpath
+aliasing.
+
+Model: every page visit performs the same page-load burst (stable PCs);
+visits differ in what follows — an immediate next click (sub-window
+typing gap), a reading pause (browse/away think), or a multimedia page
+whose codec libraries load only *after* a short pause (the aliasing
+continuation).  Two cookie/cache helper processes piggyback on most
+visits, giving the paper's ~2.7× local-to-global idle-period ratio.
+
+Table 1 targets: 49 executions, ~90 843 I/Os (~1 850 per execution),
+~7.4 global long idle periods per execution.
+"""
+
+from __future__ import annotations
+
+from repro.traces.events import AccessType
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    read_loop,
+)
+from repro.workloads.base import ApplicationSpec
+
+
+def _page_load(final_fd: int = 5, content: str = "html") -> tuple[IOStep, ...]:
+    """The canonical page-visit burst (~32 I/Os, ~4 disk accesses).
+
+    ``final_fd`` is the fd of the content read that ends the burst — the
+    feature PCAPf keys on; media-site visits use fd 7.  ``content``
+    selects the content-type render path ("html", "script", "image"):
+    different page kinds execute different code, so the disk-level PC
+    paths of a browsing run depend on the mix of pages visited — the
+    content-dependence the paper attributes to mozilla.
+    """
+    return (
+        IOStep(function="page_open", file="pagecache", fd=final_fd, blocks=1, fresh=True),
+        read_loop("gtk_theme_read", "libgtk", 3, count=11, fresh=False),
+        read_loop("cache_index_lookup", "cacheidx", 4, count=13, fresh=False),
+        read_loop("font_glyph_read", "fonts", 6, count=8, fresh=False),
+        IOStep(function=f"content_read_{content}", file="pagecache", fd=final_fd, blocks=4, fresh=True, repeat=3),
+        read_loop("history_check", "history", 8, count=2, fresh=False),
+    )
+
+
+def _media_load() -> tuple[IOStep, ...]:
+    """Codec/plugin libraries loaded for multimedia pages (~26 I/Os)."""
+    return (
+        read_loop("codec_lib_load", "libcodec", 7, count=12, fresh=False),
+        IOStep(function="media_stream_read", file="mediacache", fd=7, blocks=8, fresh=True, repeat=4),
+        read_loop("plugin_scan", "plugins", 3, count=10, fresh=False),
+    )
+
+
+def _startup() -> Routine:
+    """Browser launch: shared libraries, profile, bookmarks (~240 I/Os)."""
+    return Routine(
+        name="startup",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("ld_load_libxul", "libxul", 3, count=90, fresh=False),
+                    read_loop("ld_load_libgtk", "libgtk", 3, count=40, fresh=False),
+                    IOStep(function="profile_read", file="profile", fd=4, blocks=2, fresh=True, repeat=6),
+                    read_loop("bookmarks_load", "bookmarks", 5, count=30, fresh=False),
+                    read_loop("cache_index_build", "cacheidx", 4, count=70, fresh=False),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _routines() -> RoutineMix:
+    mix = RoutineMix(cluster=0.58)
+    # Quick surfing: next link within the wait-window.
+    mix.add(Routine("click_link_html", (Phase(_page_load(content="html"), Think.TYPING),)), 24)
+    mix.add(Routine("click_link_script", (Phase(_page_load(content="script"), Think.TYPING),)), 16)
+    mix.add(Routine("click_link_image", (Phase(_page_load(content="image"), Think.TYPING),)), 12)
+    # Reload / back-button: half a page burst, immediate continuation.
+    mix.add(
+        Routine(
+            "reload_page",
+            (Phase((IOStep(function="content_read", file="pagecache", fd=5, blocks=4, fresh=True, repeat=3),), Think.TYPING),),
+        ),
+        14,
+    )
+    # Reading pauses: the browse-length opportunities TP sleeps through.
+    mix.add(Routine("read_page", (Phase(_page_load(), Think.BROWSE),)), 4.2)
+    # Walking away after a page: the long opportunities.
+    mix.add(Routine("study_page", (Phase(_page_load(), Think.AWAY),)), 2.2)
+    # Multimedia pages: the page burst aliases the trained paths, then
+    # after a short pause the codec libraries load — subpath aliasing.
+    mix.add(
+        Routine(
+            "open_media_news",
+            (Phase(_page_load(final_fd=5), Think.PAUSE), Phase(_media_load(), Think.AWAY)),
+        ),
+        1,
+    )
+    mix.add(
+        Routine(
+            "open_media_site",
+            (Phase(_page_load(final_fd=7), Think.PAUSE), Phase(_media_load(), Think.AWAY)),
+        ),
+        1,
+    )
+    # Skimming: find-in-page traffic followed by a short pause — the
+    # visible short idle periods (history bit 0) and a subpath-aliasing
+    # source when a trained path count coincides.
+    mix.add(
+        Routine(
+            "skim_page",
+            (Phase((
+                IOStep(function="find_in_page_read", file="pagecache", fd=5, blocks=2, fresh=True, repeat=2),
+                read_loop("font_glyph_read", "fonts", 6, count=4, fresh=False),
+            ), Think.PAUSE),),
+        ),
+        5,
+    )
+    # Occasional very long hesitation in the TP-miss band.
+    mix.add(Routine("hesitate", (Phase(_page_load(), Think.HESITATE),)), 0.4)
+    # Bookmarking: small write burst, immediate continuation.
+    mix.add(
+        Routine(
+            "bookmark_page",
+            (Phase((IOStep(function="bookmark_write", file="bookmarks", fd=5, blocks=1, kind=AccessType.WRITE, repeat=2),), Think.TYPING),),
+        ),
+        3,
+    )
+    return mix
+
+
+def _helpers() -> tuple[HelperProcess, ...]:
+    return (
+        HelperProcess(
+            name="cookie_daemon",
+            steps=(
+                IOStep(function="cookie_db_read", file="cookies", fd=10, blocks=2, fresh=True),
+            ),
+            participation=0.86,
+            delay=0.30,
+        ),
+        HelperProcess(
+            name="cache_writer",
+            steps=(
+                IOStep(function="cache_store", file="diskcache", fd=11, blocks=3, fresh=True),
+            ),
+            participation=0.84,
+            delay=0.55,
+        ),
+    )
+
+
+def spec() -> ApplicationSpec:
+    """The mozilla application model (Table 1 row 1)."""
+    return ApplicationSpec(
+        name="mozilla",
+        executions=49,
+        startup=_startup(),
+        closing=None,
+        mix=_routines(),
+        think_model=ThinkTimeModel(away_median=110.0, away_sigma=0.8),
+        helpers=_helpers(),
+        actions_mean=48.0,
+        actions_sd=8.0,
+        novel_probability=0.03,
+    )

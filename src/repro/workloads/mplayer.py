@@ -1,0 +1,126 @@
+"""MPlayer workload model.
+
+Paper (§6): "Mplayer is a media player and the user usually watches a
+media clip and then exits the player" — and "mplayer ... requires
+continuous stream of video and therefore has limited idle time.  Mplayer
+loads the movie into its own memory buffer and maintains the buffer full
+until the movie ends.  At this time the I/O activity stops and the movie
+finishes playing from the buffer" — the idle energy is the buffer drain
+at the end.
+
+Model: playback is a sequence of fixed-size *chapters* of 80 buffer
+refills; every refill performs the same burst (a fresh 64 KB stream read
+plus hot demux traffic, with the audio thread's reads interleaved), with
+sub-wait-window gaps between refills so the disk never idles long during
+playback.  The user occasionally pauses at a chapter boundary (the rare
+mid-playback long idle); the movie always ends with the buffer-drain
+idle period before exit.  Fixed chapter sizes keep the disk-level PC
+paths countable, which is why PCAP needs only a couple of idle periods
+to learn mplayer (Table 3: 24 entries).
+
+Table 1 targets: 31 executions, ~512 433 I/Os (~16 500 per execution),
+~1.6 global long idle periods per execution.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    read_loop,
+)
+from repro.workloads.base import ApplicationSpec
+
+#: Buffer refills per chapter (fixed so PC-path sums are countable).
+REFILLS_PER_CHAPTER = 80
+
+
+def _refill_steps() -> tuple[IOStep, ...]:
+    """One buffer refill (~40 I/Os, ~2 disk accesses)."""
+    return (
+        IOStep(function="stream_read", file="movie", fd=3, blocks=16, fresh=True),
+        read_loop("demux_packet_parse", "demuxbuf", 4, count=24, fresh=False),
+        IOStep(function="audio_stream_read", file="movie", fd=3, blocks=4, fresh=True, process="audio_thread"),
+        read_loop("audio_decode_read", "audiobuf", 5, count=8, fresh=False, pre_gap=0.004),
+        read_loop("avsync_index_read", "avindex", 6, count=6, fresh=False),
+    )
+
+
+def _chapter(name: str, final_think: Think) -> Routine:
+    """A chapter: 80 refills glued by sub-window gaps, then the final
+    think (typing = playback continues; away = user paused)."""
+    refill = Phase(_refill_steps(), Think.TYPING)
+    phases = tuple([refill] * (REFILLS_PER_CHAPTER - 1)) + (
+        Phase(_refill_steps(), final_think),
+    )
+    return Routine(name=name, phases=phases)
+
+
+def _startup() -> Routine:
+    """Player launch: codecs, fonts, movie headers (~520 I/Os)."""
+    return Routine(
+        name="startup",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("ld_load_mplayer", "mplayerbin", 3, count=150, fresh=False),
+                    read_loop("codec_conf_read", "codecsconf", 4, count=120, fresh=False),
+                    IOStep(function="movie_header_read", file="movie", fd=3, blocks=8, fresh=True, repeat=6),
+                    read_loop("font_read", "fonts", 5, count=140, fresh=False),
+                    IOStep(function="buffer_prefill_read", file="movie", fd=3, blocks=16, fresh=True, repeat=12),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _closing() -> Routine:
+    """End of movie: final refill tail, then the buffer-drain idle
+    period (the paper's 8 MB buffer emptying), then exit."""
+    return Routine(
+        name="end_of_movie",
+        phases=(
+            Phase(
+                steps=(
+                    IOStep(function="stream_final_read", file="movie", fd=3, blocks=16, fresh=True, repeat=3),
+                    read_loop("index_finalize", "avindex", 6, count=10, fresh=False),
+                ),
+                think=Think.AWAY,
+            ),
+        ),
+    )
+
+
+def _routines() -> RoutineMix:
+    mix = RoutineMix(cluster=0.0)
+    mix.add(_chapter("play_chapter", Think.TYPING), 80)
+    mix.add(_chapter("chapter_then_pause", Think.AWAY), 20)
+    return mix
+
+
+def spec() -> ApplicationSpec:
+    """The mplayer application model (Table 1 row 6)."""
+    return ApplicationSpec(
+        name="mplayer",
+        executions=31,
+        startup=_startup(),
+        closing=_closing(),
+        mix=_routines(),
+        think_model=ThinkTimeModel(
+            typing=(0.18, 0.45),  # refill cadence: sub-wait-window
+            away_median=120.0,
+            away_sigma=0.5,
+        ),
+        helpers=(
+            HelperProcess(name="audio_thread", steps=(), participation=0.0),
+        ),
+        actions_mean=5.0,
+        actions_sd=1.0,
+        novel_probability=0.0,
+    )

@@ -1,0 +1,117 @@
+"""NEdit workload model.
+
+Paper (§6): "nedit is primarily used to quickly open correct/modify
+source code during compilation or bug fixes.  Nedit does not show
+repetitive behavior since once a file is modified it is saved and nedit
+is closed.  Nedit is the only application with single process."  Table 1
+shows exactly one long idle period per execution (29 in 29 runs) — the
+single editing pause between opening the file and saving it.
+
+Model: small startup, one open-file burst followed by the long edit
+think, a couple of quick fix bursts, then save-and-exit.  No helper
+processes; local and global idle counts coincide.
+
+Table 1 targets: 29 executions, ~6 663 I/Os (~230 per execution),
+1 global long idle period per execution.
+"""
+
+from __future__ import annotations
+
+from repro.traces.events import AccessType
+from repro.workloads.activities import (
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    read_loop,
+)
+from repro.workloads.base import ApplicationSpec
+
+
+def _quick_fix() -> Routine:
+    """A short correction: tiny hot traffic, sub-window pauses."""
+    return Routine(
+        name="quick_fix",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("search_buffer", "sources", 4, count=6, fresh=False),
+                    IOStep(function="undo_append", file="undolog", fd=5, blocks=1, kind=AccessType.WRITE),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _startup() -> Routine:
+    """NEdit launch and file open, then the one long edit pause.
+
+    Making the edit pause part of the fixed startup routine guarantees
+    exactly one long idle period per execution — Table 1's 29 idle
+    periods in 29 executions.
+    """
+    return Routine(
+        name="startup",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("ld_load_nedit", "neditbin", 3, count=90, fresh=False),
+                    read_loop("xresources_read", "xresources", 4, count=50, fresh=False),
+                    IOStep(function="prefs_read", file="prefs", fd=5, blocks=1, fresh=True, repeat=3),
+                    read_loop("font_read", "fonts", 6, count=37, fresh=False),
+                ),
+                think=Think.TYPING,
+            ),
+            Phase(
+                steps=(
+                    IOStep(function="file_open", file="sources", fd=4, blocks=1, fresh=True),
+                    IOStep(function="file_read", file="sources", fd=4, blocks=4, fresh=True, repeat=4),
+                    read_loop("syntax_patterns_read", "patterns", 3, count=12, fresh=False),
+                ),
+                think=Think.AWAY,
+            ),
+        ),
+    )
+
+
+def _closing() -> Routine:
+    """Save the fixed file and exit."""
+    return Routine(
+        name="save_and_exit",
+        phases=(
+            Phase(
+                steps=(
+                    IOStep(function="buffer_write", file="sources", fd=4, blocks=4, kind=AccessType.SYNC_WRITE, repeat=3),
+                    IOStep(function="backup_write", file="backups", fd=7, blocks=4, kind=AccessType.SYNC_WRITE),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _routines() -> RoutineMix:
+    mix = RoutineMix(cluster=0.3)
+    mix.add(_quick_fix(), 1)
+    return mix
+
+
+def spec() -> ApplicationSpec:
+    """The nedit application model (Table 1 row 5)."""
+    return ApplicationSpec(
+        name="nedit",
+        executions=29,
+        startup=_startup(),
+        closing=_closing(),
+        mix=_routines(),
+        # Bug-fix edits are minutes-long but rarely much more.
+        think_model=ThinkTimeModel(away_median=45.0, away_sigma=1.0, away_min=6.5),
+        helpers=(),
+        actions_mean=4.0,
+        actions_sd=1.0,
+        novel_probability=0.0,
+        novel_steps=3,
+    )

@@ -1,0 +1,61 @@
+"""Deterministic randomness for workload generation.
+
+Every generated trace must be exactly reproducible: seeds are derived by
+hashing stable strings (application name, execution index, stream role),
+never from global state.  The derivation uses SHA-256 so adding new
+streams never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def stable_seed(*parts: object) -> int:
+    """A 64-bit seed derived deterministically from ``parts``."""
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def make_rng(*parts: object) -> np.random.Generator:
+    """A numpy Generator seeded from :func:`stable_seed`."""
+    return np.random.default_rng(stable_seed(*parts))
+
+
+def stable_pc(application: str, function: str) -> int:
+    """A stable 32-bit "program counter" for a named code location.
+
+    The same (application, function) pair maps to the same PC in every
+    execution — the property PCAP's cross-execution table reuse relies on
+    (§4.2: "the program counters that create a particular I/O operation
+    remain the same in different executions").  PCs are 16-byte aligned
+    like real call-site return addresses.
+    """
+    digest = hashlib.sha256(
+        f"pc\x1f{application}\x1f{function}".encode("utf-8")
+    ).digest()
+    return (int.from_bytes(digest[:4], "little") & 0xFFFFFFF0) or 0x10
+
+
+def lognormal(
+    rng: np.random.Generator,
+    median: float,
+    sigma: float,
+    *,
+    low: float | None = None,
+    high: float | None = None,
+) -> float:
+    """A lognormal draw parameterized by its median, optionally clipped."""
+    value = float(median * np.exp(sigma * rng.standard_normal()))
+    if low is not None:
+        value = max(low, value)
+    if high is not None:
+        value = min(high, value)
+    return value
+
+
+def uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    return float(rng.uniform(low, high))

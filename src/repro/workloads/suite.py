@@ -1,0 +1,57 @@
+"""The six-application suite of the paper's Table 1.
+
+:func:`build_suite` generates the full trace history of every
+application — deterministic, so every run of the benchmarks sees the
+same traces.  ``scale`` shrinks both the number of executions and the
+actions per execution (tests use small scales; benches use 1.0).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.traces.trace import ApplicationTrace
+from repro.workloads import impress, mozilla, mplayer, nedit, writer, xemacs
+from repro.workloads.base import ApplicationSpec, build_application_trace
+
+#: Table 1 order.
+APPLICATIONS = ("mozilla", "writer", "impress", "xemacs", "nedit", "mplayer")
+
+_SPEC_BUILDERS = {
+    "mozilla": mozilla.spec,
+    "writer": writer.spec,
+    "impress": impress.spec,
+    "xemacs": xemacs.spec,
+    "nedit": nedit.spec,
+    "mplayer": mplayer.spec,
+}
+
+
+def application_spec(name: str) -> ApplicationSpec:
+    """The behavioural spec of one suite application."""
+    try:
+        return _SPEC_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; suite has {APPLICATIONS}"
+        ) from None
+
+
+def build_application(name: str, *, scale: float = 1.0) -> ApplicationTrace:
+    """Generate one application's full trace history."""
+    return build_application_trace(application_spec(name), scale=scale)
+
+
+@lru_cache(maxsize=4)
+def _cached_suite(scale: float) -> dict[str, ApplicationTrace]:
+    return {
+        name: build_application(name, scale=scale) for name in APPLICATIONS
+    }
+
+
+def build_suite(
+    *, scale: float = 1.0, applications: tuple[str, ...] = APPLICATIONS
+) -> dict[str, ApplicationTrace]:
+    """Generate (and memoize) the suite's traces at the given scale."""
+    full = _cached_suite(scale)
+    return {name: full[name] for name in applications}

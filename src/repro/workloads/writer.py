@@ -1,0 +1,165 @@
+"""OpenOffice Writer workload model.
+
+Paper (§6): "Writer is a word processor from the Open Office suite and
+the user mostly composes the text and also does some quick fixes after
+proofreading"; office applications "require additional libraries like
+dictionaries or graphic filters that require more I/O time".
+
+Model: heavy startup (the Office suite loads an enormous library set),
+typing bursts touching dictionaries and fonts, proofreading pauses, and
+document saves.  The paper's own aliasing example — *"the user opens a
+file, performs 'save as' to a different file, opens another file, and
+edits it"* vs the same sequence ending in another 'save as' — appears as
+the ``save_then_continue`` routine whose save burst aliases the trained
+``save_document`` path.  Three Office helper processes (autosave, layout
+and font renderers) give the ~3.2× local-to-global ratio.
+
+Table 1 targets: 33 executions, ~133 016 I/Os (~4 030 per execution),
+~3.4 global long idle periods per execution.
+"""
+
+from __future__ import annotations
+
+from repro.traces.events import AccessType
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    read_loop,
+)
+from repro.workloads.base import ApplicationSpec
+
+
+def _typing_burst(aid: str = "prose") -> tuple[IOStep, ...]:
+    """Dictionary / font / language-aid traffic while composing (~69 I/Os).
+
+    ``aid`` selects which language aid pages in fresh data ("prose" →
+    thesaurus, "spell" → dictionary supplements, "layout" → hyphenation
+    tables): what the user writes determines which code paths touch the
+    disk, so the PC paths of a composing run depend on the text.
+    """
+    aids = {
+        "prose": ("thesaurus_page_in", "thesaurus"),
+        "spell": ("spelling_page_in", "spellext"),
+        "layout": ("hyphen_page_in", "hyphenation"),
+    }
+    function, file = aids[aid]
+    return (
+        read_loop("dict_lookup", "dictionary", 3, count=30, fresh=False),
+        read_loop("font_metrics", "fonts", 4, count=22, fresh=False),
+        read_loop("autotext_scan", "autotext", 5, count=16, fresh=False),
+        IOStep(function=function, file=file, fd=7, blocks=2, fresh=True),
+    )
+
+
+def _save_burst(fd: int = 8) -> tuple[IOStep, ...]:
+    """Writing the document to disk (~46 I/Os)."""
+    return (
+        read_loop("filter_lib_load", "libfilter", 3, count=14, fresh=False),
+        IOStep(function="doc_write", file="document", fd=fd, blocks=4, kind=AccessType.SYNC_WRITE, repeat=8),
+        IOStep(function="doc_backup_write", file="docbackup", fd=fd, blocks=4, kind=AccessType.SYNC_WRITE, repeat=4),
+        read_loop("template_reread", "template", 5, count=20, fresh=False),
+    )
+
+
+def _startup() -> Routine:
+    """Office suite launch (~1 480 I/Os)."""
+    return Routine(
+        name="startup",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("ld_load_soffice", "libsoffice", 3, count=420, fresh=False),
+                    read_loop("ld_load_vcl", "libvcl", 3, count=260, fresh=False),
+                    read_loop("registry_read", "registry", 4, count=240, fresh=False),
+                    IOStep(function="doc_open_read", file="document", fd=8, blocks=4, fresh=True, repeat=12),
+                    read_loop("dict_preload", "dictionary", 5, count=310, fresh=False),
+                    read_loop("font_cache_build", "fonts", 6, count=240, fresh=False),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _routines() -> RoutineMix:
+    mix = RoutineMix(cluster=0.72)
+    mix.add(Routine("type_prose", (Phase(_typing_burst("prose"), Think.TYPING),)), 22)
+    mix.add(Routine("type_spell", (Phase(_typing_burst("spell"), Think.TYPING),)), 15)
+    mix.add(Routine("type_layout", (Phase(_typing_burst("layout"), Think.TYPING),)), 11)
+    mix.add(
+        Routine(
+            "scroll_and_pause",
+            (Phase(_typing_burst("prose") + (IOStep(function="scroll_reposition", file="document", fd=8, blocks=2, fresh=True),), Think.PAUSE),),
+        ),
+        3,
+    )
+    # Proofreading: browse-length reading of what was written.
+    mix.add(Routine("proofread", (Phase(_typing_burst("prose"), Think.BROWSE),)), 3.0)
+    # Composing thought: walk-away-length pauses mid-document.
+    mix.add(Routine("compose_think", (Phase(_typing_burst("prose"), Think.AWAY),)), 0.8)
+    # Plain save followed by more work or a long pause.
+    mix.add(Routine("save_document", (Phase(_save_burst(), Think.AWAY),)), 0.9)
+    # The paper's aliasing case: the same save burst, but the user pauses
+    # briefly and then continues with a different-file save-as.
+    mix.add(
+        Routine(
+            "save_then_continue",
+            (
+                Phase(_save_burst(), Think.PAUSE),
+                Phase(_save_burst(fd=9), Think.AWAY),
+            ),
+        ),
+        0.7,
+    )
+    mix.add(Routine("hesitate_over_text", (Phase(_typing_burst("prose"), Think.HESITATE),)), 0.25)
+    return mix
+
+
+def _helpers() -> tuple[HelperProcess, ...]:
+    return (
+        HelperProcess(
+            name="autosave",
+            steps=(
+                IOStep(function="autosave_state_read", file="autosave", fd=12, blocks=2, fresh=True),
+            ),
+            participation=0.50,
+            delay=0.4,
+        ),
+        HelperProcess(
+            name="layout_engine",
+            steps=(
+                IOStep(function="layout_cache_read", file="layoutcache", fd=13, blocks=2, fresh=True),
+            ),
+            participation=0.85,
+            delay=0.25,
+        ),
+        HelperProcess(
+            name="font_renderer",
+            steps=(
+                IOStep(function="glyph_cache_read", file="glyphcache", fd=14, blocks=2, fresh=True),
+            ),
+            participation=0.80,
+            delay=0.6,
+        ),
+    )
+
+
+def spec() -> ApplicationSpec:
+    """The writer application model (Table 1 row 2)."""
+    return ApplicationSpec(
+        name="writer",
+        executions=33,
+        startup=_startup(),
+        closing=Routine("final_save", (Phase(_save_burst(), Think.TYPING),)),
+        mix=_routines(),
+        think_model=ThinkTimeModel(away_median=100.0, away_sigma=0.8),
+        helpers=_helpers(),
+        actions_mean=34.0,
+        actions_sd=6.0,
+        novel_probability=0.02,
+    )

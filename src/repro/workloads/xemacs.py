@@ -1,0 +1,152 @@
+"""XEmacs workload model.
+
+Paper (§6): "Xemacs and nedit are editors used by the user who spends
+most of the time thinking and typing.  Xemacs is primarily used to
+create larger files and edit multiple files" — and its local and global
+idle-period counts are nearly equal (103 vs 94), i.e. it is essentially
+a single-process application with only occasional helper activity.
+
+Model: elisp-heavy startup, typing bursts that barely touch the disk
+(cache-hot elisp and TAGS lookups), file opens that end in reading
+pauses, saves, and the save-pause-open-another aliasing sequence.  A
+spell-checker subprocess participates rarely (~8 % of actions), giving
+the small local-over-global excess.
+
+Table 1 targets: 37 executions, ~79 720 I/Os (~2 150 per execution),
+~2.5 global long idle periods per execution.
+"""
+
+from __future__ import annotations
+
+from repro.traces.events import AccessType
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    read_loop,
+)
+from repro.workloads.base import ApplicationSpec
+
+
+def _edit_burst(mode: str = "c") -> tuple[IOStep, ...]:
+    """Typing: abbrev tables, TAGS lookups, mode data (~36 I/Os).
+
+    ``mode`` selects the editing-mode code path ("c", "lisp", "text"):
+    different buffers page in different mode data, so the PC paths of an
+    editing run depend on the files being edited.
+    """
+    modes = {
+        "c": "c_mode_page_in",
+        "lisp": "lisp_mode_page_in",
+        "text": "text_mode_page_in",
+    }
+    return (
+        read_loop("abbrev_lookup", "abbrevs", 3, count=16, fresh=False),
+        read_loop("tags_lookup", "tags", 4, count=13, fresh=False),
+        read_loop("syntax_table_read", "syntax", 6, count=6, fresh=False),
+        IOStep(function=modes[mode], file="modedata", fd=11, blocks=2, fresh=True),
+    )
+
+
+def _open_file(fd: int = 7) -> tuple[IOStep, ...]:
+    """Opening a source file plus its mode's elisp (~52 I/Os)."""
+    return (
+        IOStep(function="file_open", file="sources", fd=fd, blocks=1, fresh=True),
+        IOStep(function="file_read", file="sources", fd=fd, blocks=4, fresh=True, repeat=6),
+        read_loop("mode_elisp_load", "elisp", 3, count=30, fresh=False),
+        read_loop("tags_rebuild", "tags", 4, count=15, fresh=False),
+    )
+
+
+def _save_burst(fd: int = 7) -> tuple[IOStep, ...]:
+    """Saving the buffer and its backup (~24 I/Os)."""
+    return (
+        IOStep(function="buffer_write", file="sources", fd=fd, blocks=4, kind=AccessType.SYNC_WRITE, repeat=3),
+        IOStep(function="backup_write", file="backups", fd=8, blocks=4, kind=AccessType.SYNC_WRITE, repeat=2),
+        read_loop("hooks_elisp_load", "elisp", 3, count=18, fresh=False),
+    )
+
+
+def _startup() -> Routine:
+    """XEmacs launch: dumped image, site elisp, customizations (~1 300 I/Os)."""
+    return Routine(
+        name="startup",
+        phases=(
+            Phase(
+                steps=(
+                    read_loop("ld_load_xemacs", "xemacsbin", 3, count=420, fresh=False),
+                    read_loop("site_elisp_load", "elisp", 3, count=520, fresh=False),
+                    IOStep(function="custom_read", file="custom", fd=4, blocks=1, fresh=True, repeat=8),
+                    read_loop("font_cache_read", "fonts", 5, count=350, fresh=False),
+                ),
+                think=Think.TYPING,
+            ),
+        ),
+    )
+
+
+def _routines() -> RoutineMix:
+    mix = RoutineMix(cluster=0.72)
+    mix.add(Routine("type_c_code", (Phase(_edit_burst("c"), Think.TYPING),)), 27)
+    mix.add(Routine("type_lisp", (Phase(_edit_burst("lisp"), Think.TYPING),)), 18)
+    mix.add(Routine("type_text", (Phase(_edit_burst("text"), Think.TYPING),)), 13)
+    mix.add(
+        Routine(
+            "scroll_and_pause",
+            (Phase(_edit_burst("c") + (IOStep(function="window_scroll", file="sources", fd=7, blocks=2, fresh=True),), Think.PAUSE),),
+        ),
+        1.5,
+    )
+    # Opening a file and reading it for a while.
+    mix.add(Routine("open_and_read", (Phase(_open_file(), Think.BROWSE),)), 2.0)
+    # Deep-thought pauses while editing.
+    mix.add(Routine("edit_think", (Phase(_edit_burst("c"), Think.AWAY),)), 1.0)
+    mix.add(Routine("save_buffer", (Phase(_save_burst(), Think.AWAY),)), 0.8)
+    # Aliasing: save, brief pause, then open another file ("save as" to a
+    # different file and continue — the paper's example).
+    mix.add(
+        Routine(
+            "save_then_open",
+            (
+                Phase(_save_burst(), Think.PAUSE),
+                Phase(_open_file(fd=9), Think.AWAY),
+            ),
+        ),
+        0.5,
+    )
+    mix.add(Routine("grep_search", (Phase((read_loop("grep_read", "sources", 7, count=22, blocks=2, fresh=True),), Think.PAUSE),)), 1.5)
+    mix.add(Routine("hesitate", (Phase(_edit_burst("c"), Think.HESITATE),)), 0.25)
+    return mix
+
+
+def _helpers() -> tuple[HelperProcess, ...]:
+    return (
+        HelperProcess(
+            name="ispell",
+            steps=(
+                IOStep(function="ispell_dict_read", file="ispelldict", fd=10, blocks=2, fresh=True),
+            ),
+            participation=0.012,
+            delay=0.5,
+        ),
+    )
+
+
+def spec() -> ApplicationSpec:
+    """The xemacs application model (Table 1 row 4)."""
+    return ApplicationSpec(
+        name="xemacs",
+        executions=37,
+        startup=_startup(),
+        closing=Routine("final_save", (Phase(_save_burst(), Think.TYPING),)),
+        mix=_routines(),
+        think_model=ThinkTimeModel(away_median=120.0, away_sigma=0.8),
+        helpers=_helpers(),
+        actions_mean=24.0,
+        actions_sd=5.0,
+        novel_probability=0.03,
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.disk.power_model import fujitsu_mhf2043at
+
+
+@pytest.fixture(scope="session")
+def config() -> SimulationConfig:
+    """The paper's simulation configuration."""
+    return SimulationConfig()
+
+
+@pytest.fixture(scope="session")
+def disk_params():
+    return fujitsu_mhf2043at()
+
+
+@pytest.fixture(scope="session")
+def breakeven(config) -> float:
+    return config.breakeven
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """A down-scaled six-application suite shared by integration tests.
+
+    Scale 0.25 keeps runtimes low while every application still produces
+    idle periods in every execution; the suite builder memoizes, so this
+    is built once per session.
+    """
+    from repro.workloads import build_suite
+
+    return build_suite(scale=0.25)

@@ -1,0 +1,128 @@
+"""Activity primitives: think-time model, routines, mixes, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.events import AccessType
+from repro.workloads.activities import (
+    HelperProcess,
+    IOStep,
+    Phase,
+    Routine,
+    RoutineMix,
+    Think,
+    ThinkTimeModel,
+    burst,
+    read_loop,
+    routine,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_think_classes_land_in_their_bands(rng):
+    model = ThinkTimeModel()
+    for _ in range(200):
+        assert 0.0 < model.sample(Think.TYPING, rng) < 1.0
+        assert 1.0 < model.sample(Think.PAUSE, rng) <= 5.0
+        browse = model.sample(Think.BROWSE, rng)
+        assert 5.445 < browse <= 10.0
+        hesitate = model.sample(Think.HESITATE, rng)
+        assert 10.0 < hesitate < 15.445
+        assert model.sample(Think.AWAY, rng) >= model.away_min
+
+
+def test_none_think_is_zero(rng):
+    assert ThinkTimeModel().sample(Think.NONE, rng) == 0.0
+
+
+def test_away_respects_clip(rng):
+    model = ThinkTimeModel(away_median=20.0, away_sigma=2.0,
+                           away_min=15.0, away_max=50.0)
+    values = [model.sample(Think.AWAY, rng) for _ in range(300)]
+    assert min(values) >= 15.0
+    assert max(values) <= 50.0
+
+
+def test_iostep_validation():
+    with pytest.raises(ConfigurationError):
+        IOStep(function="f", file="x", fd=3, repeat=0)
+    with pytest.raises(ConfigurationError):
+        IOStep(function="f", file="x", fd=3, pre_gap=-0.1)
+    with pytest.raises(ConfigurationError):
+        IOStep(function="f", file="x", fd=3, blocks=-1)
+
+
+def test_routine_requires_phases():
+    with pytest.raises(ConfigurationError):
+        Routine(name="empty", phases=())
+
+
+def test_routine_io_count_includes_repeats():
+    r = routine(
+        "r",
+        burst(
+            read_loop("f", "x", 3, count=10),
+            IOStep(function="g", file="y", fd=4),
+        ),
+    )
+    assert r.io_count == 11
+
+
+def test_burst_and_routine_helpers():
+    phase = burst(IOStep(function="f", file="x", fd=3), think=Think.PAUSE)
+    assert isinstance(phase, Phase)
+    assert phase.think == Think.PAUSE
+
+
+def test_read_loop_sets_repeat():
+    step = read_loop("f", "x", 3, count=7, blocks=2)
+    assert step.repeat == 7
+    assert step.blocks == 2
+    assert step.kind == AccessType.READ
+
+
+def test_helper_validation():
+    with pytest.raises(ConfigurationError):
+        HelperProcess(name="h", steps=(), participation=1.5)
+    with pytest.raises(ConfigurationError):
+        HelperProcess(name="h", steps=(), delay=-1.0)
+    with pytest.raises(ConfigurationError):
+        HelperProcess(name="h", steps=(), background_participation=-0.1)
+
+
+def test_mix_requires_entries(rng):
+    with pytest.raises(ConfigurationError):
+        RoutineMix().choose(rng, None)
+
+
+def test_mix_respects_weights(rng):
+    heavy = routine("heavy", burst(IOStep(function="a", file="x", fd=3)))
+    light = routine("light", burst(IOStep(function="b", file="x", fd=3)))
+    mix = RoutineMix().add(heavy, 99.0).add(light, 1.0)
+    picks = [mix.choose(rng, None).name for _ in range(200)]
+    assert picks.count("heavy") > 150
+
+
+def test_mix_clustering_repeats_previous(rng):
+    a = routine("a", burst(IOStep(function="a", file="x", fd=3)))
+    b = routine("b", burst(IOStep(function="b", file="x", fd=3)))
+    mix = RoutineMix(cluster=0.95).add(a, 1.0).add(b, 1.0)
+    repeats = 0
+    previous = a
+    for _ in range(200):
+        chosen = mix.choose(rng, previous)
+        if chosen is previous:
+            repeats += 1
+        previous = chosen
+    assert repeats > 150
+
+
+def test_mix_rejects_nonpositive_weight():
+    r = routine("r", burst(IOStep(function="a", file="x", fd=3)))
+    with pytest.raises(ConfigurationError):
+        RoutineMix().add(r, 0.0)

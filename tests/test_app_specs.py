@@ -1,0 +1,135 @@
+"""Per-application workload model structure (paper §6 descriptions)."""
+
+import pytest
+
+from repro.traces.events import AccessType
+from repro.workloads import application_spec
+from repro.workloads.activities import Think
+from repro.workloads.mplayer import REFILLS_PER_CHAPTER
+
+
+def _final_thinks(spec):
+    return [
+        entry.routine.phases[-1].think for entry in spec.mix.entries
+    ]
+
+
+def test_mozilla_has_aliasing_routines():
+    """'Some pages require loading additional libraries ... and some do
+    not' — the multimedia routines pause mid-path."""
+    spec = application_spec("mozilla")
+    multi_phase = [
+        entry.routine
+        for entry in spec.mix.entries
+        if len(entry.routine.phases) > 1
+    ]
+    assert multi_phase, "mozilla needs subpath-aliasing routines"
+    for routine in multi_phase:
+        assert routine.phases[0].think == Think.PAUSE
+
+
+def test_mozilla_page_variants_share_structure():
+    """Content-dependent paths: several page kinds, same skeleton."""
+    spec = application_spec("mozilla")
+    click_routines = [
+        e.routine for e in spec.mix.entries
+        if e.routine.name.startswith("click_link")
+    ]
+    assert len(click_routines) >= 3
+    functions = {
+        tuple(step.function for step in r.phases[0].steps)
+        for r in click_routines
+    }
+    assert len(functions) == len(click_routines)  # distinct content PCs
+
+
+def test_writer_save_as_aliasing():
+    """The paper's own example: save, pause, save-as to another file."""
+    spec = application_spec("writer")
+    save_then = next(
+        e.routine for e in spec.mix.entries
+        if e.routine.name == "save_then_continue"
+    )
+    assert len(save_then.phases) == 2
+    assert save_then.phases[0].think == Think.PAUSE
+    assert save_then.phases[1].think == Think.AWAY
+    # The continuation writes to a different descriptor (PCAPf's signal).
+    fds_first = {s.fd for s in save_then.phases[0].steps if s.kind != AccessType.READ}
+    fds_second = {s.fd for s in save_then.phases[1].steps if s.kind != AccessType.READ}
+    assert fds_first != fds_second
+
+
+def test_impress_twin_workers_share_code():
+    spec = application_spec("impress")
+    assert len(spec.helpers) == 2
+    assert spec.helpers[0].steps == spec.helpers[1].steps
+
+
+def test_xemacs_is_nearly_single_process():
+    """Table 1: local ≈ global for xemacs — the helper barely runs."""
+    spec = application_spec("xemacs")
+    assert all(h.participation < 0.05 for h in spec.helpers)
+
+
+def test_nedit_structure():
+    """Single process; the one long idle lives in the fixed startup."""
+    spec = application_spec("nedit")
+    assert spec.helpers == ()
+    assert spec.novel_probability == 0.0
+    startup_thinks = [phase.think for phase in spec.startup.phases]
+    assert startup_thinks.count(Think.AWAY) == 1
+    assert all(t != Think.AWAY for t in _final_thinks(spec))
+
+
+def test_mplayer_chapter_structure():
+    """Fixed-size chapters with sub-window refill gaps; the drain idle
+    period lives in the closing routine."""
+    spec = application_spec("mplayer")
+    chapters = [e.routine for e in spec.mix.entries]
+    for routine in chapters:
+        assert len(routine.phases) == REFILLS_PER_CHAPTER
+        # All but the final phase continue within the wait-window.
+        for phase in routine.phases[:-1]:
+            assert phase.think == Think.TYPING
+    assert spec.think_model.typing[1] < 1.0  # refill cadence < wait window
+    assert spec.closing is not None
+    assert spec.closing.phases[-1].think == Think.AWAY
+
+
+def test_mplayer_audio_thread_runs_inside_refills():
+    spec = application_spec("mplayer")
+    refill_steps = spec.mix.entries[0].routine.phases[0].steps
+    assert any(step.process == "audio_thread" for step in refill_steps)
+
+
+def test_every_spec_routine_produces_disk_traffic():
+    """Each routine must reach the disk — via a fresh read, a
+    synchronous write, or at least a buffered write (flushed later by
+    the daemon); a purely cache-hot routine is invisible to the
+    predictors and its think time silently merges into neighbouring
+    gaps."""
+    visible_kinds = (AccessType.WRITE, AccessType.SYNC_WRITE)
+    for name in ("mozilla", "writer", "impress", "xemacs"):
+        spec = application_spec(name)
+        for entry in spec.mix.entries:
+            steps = [
+                step
+                for phase in entry.routine.phases
+                for step in phase.steps
+            ]
+            assert any(
+                step.fresh or step.kind in visible_kinds
+                for step in steps
+            ), (name, entry.routine.name)
+
+
+def test_think_bands_do_not_straddle_breakeven(config):
+    """PAUSE must stay below breakeven and BROWSE above it — the class
+    boundaries the whole calibration rests on."""
+    for name in ("mozilla", "writer", "impress", "xemacs", "nedit",
+                 "mplayer"):
+        model = application_spec(name).think_model
+        assert model.pause[1] < config.breakeven, name
+        assert model.browse[0] > config.breakeven, name
+        assert model.hesitate[0] > config.timeout, name
+        assert model.hesitate[1] < config.timeout + config.breakeven, name

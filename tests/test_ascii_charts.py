@@ -1,0 +1,71 @@
+"""ASCII stacked-bar chart rendering."""
+
+from repro.analysis.ascii_charts import (
+    accuracy_bar,
+    energy_bar,
+    render_accuracy_chart,
+    render_energy_chart,
+)
+from repro.analysis.figures import AccuracyBar, EnergyBar
+
+
+def test_accuracy_bar_width_and_marker():
+    bar = accuracy_bar(0.5, 0.2, 0.3, 0.0, width=60)
+    assert len(bar) == 61  # width + the 100% marker
+    assert "|" in bar
+
+
+def test_accuracy_bar_segments_in_order():
+    bar = accuracy_bar(0.4, 0.2, 0.2, 0.2, width=50)
+    cleaned = bar.replace("|", "").rstrip()
+    # Glyph runs appear in the canonical order.
+    order = [cleaned.index(g) for g in "#:.x"]
+    assert order == sorted(order)
+
+
+def test_accuracy_bar_clips_overflow():
+    bar = accuracy_bar(1.0, 0.0, 0.0, 5.0, width=40)
+    assert len(bar) == 41
+
+
+def test_zero_bar_is_blank():
+    bar = accuracy_bar(0.0, 0.0, 0.0, 0.0, width=30)
+    assert set(bar) <= {" ", "|"}
+
+
+def test_energy_bar_full_base():
+    bar = energy_bar(0.02, 0.1, 0.85, 0.0, width=50)
+    assert len(bar) == 50
+    assert bar.count("L") > bar.count("s") > 0
+
+
+def test_render_accuracy_chart():
+    figure = {
+        "app": {
+            "PCAP": AccuracyBar(
+                application="app", predictor="PCAP", hit=0.9, miss=0.1,
+                not_predicted=0.1, hit_primary=0.7, hit_backup=0.2,
+                miss_primary=0.05, miss_backup=0.05, opportunities=10,
+            )
+        }
+    }
+    text = render_accuracy_chart(figure, "Figure 7")
+    assert "Figure 7" in text
+    assert "PCAP" in text
+    assert "#" in text
+
+
+def test_render_energy_chart():
+    figure = {
+        "app": {
+            "Base": EnergyBar(
+                application="app", predictor="Base", busy=0.02,
+                idle_short=0.1, idle_long=0.88, power_cycle=0.0,
+                savings=0.0,
+            )
+        }
+    }
+    text = render_energy_chart(figure)
+    assert "Base" in text
+    assert "L" in text
+    assert "0.0% saved" in text

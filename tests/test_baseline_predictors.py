@@ -1,0 +1,163 @@
+"""Baseline predictors: TP, oracle, always-on, EXP, AT."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predictors.adaptive_timeout import AdaptiveTimeoutPredictor
+from repro.predictors.always_on import AlwaysOnPolicy, AlwaysOnPredictor
+from repro.predictors.base import (
+    IdleClass,
+    IdleFeedback,
+    PredictorSource,
+    ShutdownIntent,
+    classify_gap,
+)
+from repro.predictors.exponential_average import ExponentialAveragePredictor
+from repro.predictors.oracle import OraclePolicy
+from repro.predictors.timeout import PAPER_TIMEOUT, TimeoutPredictor
+from tests.helpers import access
+
+BE = 5.445
+
+
+# ---------------------------------------------------------------- classify
+def test_classify_gap_taxonomy():
+    assert classify_gap(0.5, 1.0, BE) == IdleClass.SUB_WINDOW
+    assert classify_gap(1.0, 1.0, BE) == IdleClass.SUB_WINDOW  # boundary
+    assert classify_gap(3.0, 1.0, BE) == IdleClass.SHORT
+    assert classify_gap(BE, 1.0, BE) == IdleClass.SHORT  # boundary
+    assert classify_gap(10.0, 1.0, BE) == IdleClass.LONG
+
+
+def test_shutdown_intent_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        ShutdownIntent(delay=-1.0)
+
+
+# ---------------------------------------------------------------- timeout
+def test_tp_always_arms_its_timer():
+    tp = TimeoutPredictor(10.0)
+    intent = tp.on_access(access(5.0))
+    assert intent.delay == 10.0
+    assert intent.source == PredictorSource.PRIMARY
+    assert tp.initial_intent(0.0).delay == 10.0
+
+
+def test_tp_paper_default():
+    assert TimeoutPredictor().timeout == PAPER_TIMEOUT == 10.0
+
+
+def test_tp_rejects_nonpositive_timeout():
+    with pytest.raises(ConfigurationError):
+        TimeoutPredictor(0.0)
+
+
+# ---------------------------------------------------------------- oracle
+def test_oracle_shuts_down_exactly_on_long_gaps():
+    oracle = OraclePolicy(BE)
+    assert oracle.shutdown_offset(BE + 0.1) == 0.0
+    assert oracle.shutdown_offset(BE) is None
+    assert oracle.shutdown_offset(1.0) is None
+
+
+def test_oracle_rejects_bad_breakeven():
+    with pytest.raises(ConfigurationError):
+        OraclePolicy(0.0)
+
+
+# ---------------------------------------------------------------- base
+def test_always_on_never_predicts():
+    predictor = AlwaysOnPredictor()
+    assert not predictor.on_access(access(0.0)).predicts_shutdown
+    policy = AlwaysOnPolicy()
+    assert policy.shutdown_offset(1e9) is None
+
+
+# ---------------------------------------------------------------- EXP
+def test_exp_predicts_after_long_history():
+    exp = ExponentialAveragePredictor(BE, alpha=0.5)
+    exp.on_idle_end(IdleFeedback(0.0, 100.0, IdleClass.LONG))
+    intent = exp.on_access(access(100.0))
+    assert intent.predicts_shutdown
+    assert intent.source == PredictorSource.PRIMARY
+
+
+def test_exp_stays_quiet_after_short_history():
+    exp = ExponentialAveragePredictor(BE, alpha=0.5)
+    for start in (0.0, 10.0, 20.0):
+        exp.on_idle_end(IdleFeedback(start, start + 0.5, IdleClass.SUB_WINDOW))
+    assert not exp.on_access(access(30.0)).predicts_shutdown
+
+
+def test_exp_update_rule_is_weighted_average():
+    exp = ExponentialAveragePredictor(BE, alpha=0.25, initial_prediction=8.0)
+    exp.on_idle_end(IdleFeedback(0.0, 4.0, IdleClass.SHORT))
+    assert exp.predicted_idle == pytest.approx(0.25 * 4.0 + 0.75 * 8.0)
+
+
+def test_exp_rejects_bad_alpha():
+    with pytest.raises(ConfigurationError):
+        ExponentialAveragePredictor(BE, alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        ExponentialAveragePredictor(BE, alpha=1.5)
+
+
+# ---------------------------------------------------------------- AT
+def test_at_correct_shutdown_shrinks_timeout():
+    at = AdaptiveTimeoutPredictor(BE, initial_timeout=10.0)
+    at.on_access(access(0.0))
+    at.on_idle_end(IdleFeedback(0.0, 30.0, IdleClass.LONG))  # off=20 > BE
+    assert at.timeout == pytest.approx(5.0)
+
+
+def test_at_wasteful_shutdown_grows_timeout():
+    at = AdaptiveTimeoutPredictor(BE, initial_timeout=10.0)
+    at.on_access(access(0.0))
+    at.on_idle_end(IdleFeedback(0.0, 12.0, IdleClass.LONG))  # off=2 < BE
+    assert at.timeout == pytest.approx(20.0)
+
+
+def test_at_missed_opportunity_shrinks_timeout():
+    at = AdaptiveTimeoutPredictor(BE, initial_timeout=10.0)
+    at.on_access(access(0.0))
+    at.on_idle_end(IdleFeedback(0.0, 8.0, IdleClass.LONG))  # timer slept
+    assert at.timeout == pytest.approx(5.0)
+
+
+def test_at_short_period_leaves_timeout_alone():
+    at = AdaptiveTimeoutPredictor(BE, initial_timeout=10.0)
+    at.on_access(access(0.0))
+    at.on_idle_end(IdleFeedback(0.0, 2.0, IdleClass.SHORT))
+    assert at.timeout == pytest.approx(10.0)
+
+
+def test_at_clamps_to_bounds():
+    at = AdaptiveTimeoutPredictor(
+        BE, initial_timeout=2.0, min_timeout=1.0, max_timeout=4.0
+    )
+    for _ in range(5):
+        at.on_access(access(0.0))
+        at.on_idle_end(IdleFeedback(0.0, 100.0, IdleClass.LONG))
+    assert at.timeout == 1.0
+    for _ in range(5):
+        at.on_access(access(0.0))
+        at.on_idle_end(IdleFeedback(0.0, at.timeout + 1.0, IdleClass.LONG))
+    assert at.timeout == 4.0
+
+
+def test_at_uses_armed_timeout_not_current():
+    """Feedback must evaluate the timeout that was armed when the idle
+    period began, not the already-adjusted value."""
+    at = AdaptiveTimeoutPredictor(BE, initial_timeout=10.0)
+    intent = at.on_access(access(0.0))
+    assert intent.delay == 10.0
+    at.on_idle_end(IdleFeedback(0.0, 30.0, IdleClass.LONG))
+    intent = at.on_access(access(30.0))
+    assert intent.delay == pytest.approx(5.0)
+
+
+def test_at_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        AdaptiveTimeoutPredictor(BE, initial_timeout=0.5, min_timeout=1.0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveTimeoutPredictor(BE, decrease_factor=1.5)

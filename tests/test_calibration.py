@@ -1,0 +1,45 @@
+"""Suite calibration reporting."""
+
+from repro.config import SimulationConfig
+from repro.sim.experiment import ExperimentRunner
+from repro.workloads.calibration import (
+    CalibrationRow,
+    calibration_report,
+    render_calibration,
+)
+
+
+def test_report_covers_every_suite_application(small_suite):
+    runner = ExperimentRunner(small_suite, SimulationConfig())
+    rows = calibration_report(runner)
+    assert {row.application for row in rows} == set(small_suite)
+
+
+def test_ratios_and_within():
+    row = CalibrationRow(
+        application="x", executions=10, paper_executions=10,
+        global_idle=110, paper_global_idle=100,
+        local_idle=300, paper_local_idle=200,
+        total_ios=900, paper_total_ios=1000,
+    )
+    assert row.global_ratio == 1.1
+    assert row.local_ratio == 1.5
+    assert row.io_ratio == 0.9
+    assert row.within(0.5, 1.7)
+    assert not row.within(0.95, 1.05)
+
+
+def test_render(small_suite):
+    runner = ExperimentRunner(small_suite, SimulationConfig())
+    text = render_calibration(calibration_report(runner))
+    assert "mozilla" in text
+    assert "ratios" in text
+
+
+def test_nedit_exact_at_any_scale(small_suite):
+    """nedit's one-idle-period-per-execution structure holds at every
+    scale: global == local == executions."""
+    runner = ExperimentRunner(small_suite, SimulationConfig())
+    rows = {row.application: row for row in calibration_report(runner)}
+    nedit = rows["nedit"]
+    assert nedit.global_idle == nedit.local_idle == nedit.executions

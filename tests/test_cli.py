@@ -1,0 +1,136 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+STRACE_SAMPLE = """\
+100 1000.000000 [00007f0000001000] openat(AT_FDCWD, "/data/file", O_RDONLY) = 3
+100 1000.010000 [00007f0000001010] read(3, "x", 4096) = 4096
+100 1030.000000 [00007f0000001010] read(3, "x", 4096) = 4096
+100 1030.100000 +++ exited with 0 +++
+"""
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_table2_fast_path(capsys):
+    code, out, _ = run_cli(capsys, "table", "2")
+    assert code == 0
+    assert "Breakeven" in out
+
+
+def test_table1_small_scale(capsys):
+    code, out, _ = run_cli(capsys, "table", "1", "--scale", "0.1")
+    assert code == 0
+    assert "mozilla" in out
+
+
+def test_unknown_table_number(capsys):
+    code, _, err = run_cli(capsys, "table", "9", "--scale", "0.1")
+    assert code == 2
+    assert "tables 1-3" in err
+
+
+def test_figure7(capsys):
+    code, out, _ = run_cli(capsys, "figure", "7", "--scale", "0.1")
+    assert code == 0
+    assert "AVERAGE" in out
+
+
+def test_figure7_chart_mode(capsys):
+    code, out, _ = run_cli(capsys, "figure", "7", "--scale", "0.1",
+                           "--chart")
+    assert code == 0
+    assert "|" in out  # the 100% marker of the stacked bars
+
+
+def test_figure8(capsys):
+    code, out, _ = run_cli(capsys, "figure", "8", "--scale", "0.1")
+    assert code == 0
+    assert "savings" in out
+
+
+def test_unknown_figure(capsys):
+    code, _, err = run_cli(capsys, "figure", "3", "--scale", "0.1")
+    assert code == 2
+    assert "figures 6-10" in err
+
+
+def test_simulate(capsys):
+    code, out, _ = run_cli(
+        capsys, "simulate", "--app", "nedit", "--predictor", "PCAP",
+        "--scale", "0.2",
+    )
+    assert code == 0
+    assert "coverage" in out
+    assert "prediction table" in out
+
+
+def test_generate_and_inspect(capsys, tmp_path):
+    out_file = tmp_path / "nedit.jsonl"
+    code, out, _ = run_cli(
+        capsys, "generate", "--app", "nedit", "--out", str(out_file),
+        "--scale", "0.2",
+    )
+    assert code == 0
+    assert out_file.exists()
+    code, out, _ = run_cli(capsys, "inspect", str(out_file))
+    assert code == 0
+    assert "application      : nedit" in out
+    assert "executions" in out
+
+
+def test_import_strace(capsys, tmp_path):
+    source = tmp_path / "trace.txt"
+    source.write_text(STRACE_SAMPLE)
+    converted = tmp_path / "converted.jsonl"
+    code, out, _ = run_cli(
+        capsys, "import-strace", str(source), "--app", "demo",
+        "--out", str(converted), "--predictor", "TP",
+    )
+    assert code == 0
+    assert "imported 3 I/O events" in out
+    assert converted.exists()
+    assert "TP: coverage" in out
+
+
+def test_bad_arguments_exit_nonzero(capsys):
+    with pytest.raises(SystemExit):
+        main(["simulate", "--app", "notanapp"])
+
+
+def test_report_to_file(capsys, tmp_path):
+    out = tmp_path / "report.md"
+    code, stdout, _ = run_cli(
+        capsys, "report", "--scale", "0.1", "--out", str(out)
+    )
+    assert code == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "shape checks passed" in text
+    assert "Figure 7" in text
+
+
+def test_user_errors_are_one_line_not_tracebacks(capsys, tmp_path):
+    junk = tmp_path / "junk.txt"
+    junk.write_text("not a trace\n")
+    code, _, err = run_cli(capsys, "inspect", str(junk))
+    assert code == 1
+    assert "error:" in err and "Traceback" not in err
+
+    code, _, err = run_cli(capsys, "inspect", str(tmp_path / "missing.jsonl"))
+    assert code == 1
+    assert "error:" in err
+
+    code, _, err = run_cli(capsys, "import-strace", str(junk))
+    assert code == 1
+    assert "no parseable strace lines" in err
+
+    code, _, err = run_cli(capsys, "table", "1", "--scale", "0")
+    assert code == 1
+    assert "scale must be positive" in err

@@ -1,0 +1,64 @@
+"""Confidence estimator (PCAPc extension)."""
+
+import pytest
+
+from repro.core.confidence import ConfidenceEstimator
+
+
+def test_fresh_keys_are_confident_by_default():
+    estimator = ConfidenceEstimator()
+    assert estimator.allows("anything")
+
+
+def test_misprediction_lowers_confidence_below_threshold():
+    estimator = ConfidenceEstimator()
+    estimator.record("k", long_idle=False)
+    assert not estimator.allows("k")
+
+
+def test_confirmation_restores_confidence():
+    estimator = ConfidenceEstimator()
+    estimator.record("k", long_idle=False)
+    estimator.record("k", long_idle=True)
+    assert estimator.allows("k")
+
+
+def test_counters_saturate():
+    estimator = ConfidenceEstimator()
+    for _ in range(10):
+        estimator.record("k", long_idle=True)
+    assert estimator.counter("k") == 3
+    for _ in range(10):
+        estimator.record("k", long_idle=False)
+    assert estimator.counter("k") == 0
+
+
+def test_two_mispredictions_need_two_confirmations():
+    estimator = ConfidenceEstimator()
+    estimator.record("k", long_idle=False)
+    estimator.record("k", long_idle=False)
+    estimator.record("k", long_idle=True)
+    assert not estimator.allows("k")
+    estimator.record("k", long_idle=True)
+    assert estimator.allows("k")
+
+
+def test_keys_are_independent():
+    estimator = ConfidenceEstimator()
+    estimator.record("a", long_idle=False)
+    assert estimator.allows("b")
+
+
+def test_clear():
+    estimator = ConfidenceEstimator()
+    estimator.record("a", long_idle=False)
+    estimator.clear()
+    assert estimator.allows("a")
+    assert len(estimator) == 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ConfidenceEstimator(threshold=5, maximum=3)
+    with pytest.raises(ValueError):
+        ConfidenceEstimator(initial=9, maximum=3)

@@ -1,0 +1,49 @@
+"""SimulationConfig validation and derived quantities."""
+
+import pytest
+
+from repro.cache.page_cache import CacheConfig
+from repro.config import SimulationConfig, paper_config
+from repro.errors import ConfigurationError
+
+
+def test_paper_defaults():
+    config = paper_config()
+    assert config.wait_window == 1.0
+    assert config.timeout == 10.0
+    assert config.cache.capacity_bytes == 256 * 1024
+    assert config.cache.flush_interval == 30.0
+    assert config.breakeven == pytest.approx(5.43, abs=0.03)
+
+
+def test_access_duration_scales_with_blocks():
+    config = SimulationConfig()
+    assert config.access_duration(0) == pytest.approx(config.service_time)
+    assert config.access_duration(10) > config.access_duration(1)
+
+
+def test_wait_window_must_stay_below_breakeven():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(wait_window=6.0)
+
+
+def test_nonpositive_timeout_rejected():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(timeout=0.0)
+
+
+def test_negative_service_time_rejected():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(service_time=-0.1)
+
+
+def test_custom_cache_config_carried():
+    cache = CacheConfig(capacity_bytes=1024 * 1024)
+    config = SimulationConfig(cache=cache)
+    assert config.cache.capacity_blocks == 256
+
+
+def test_config_is_immutable():
+    config = SimulationConfig()
+    with pytest.raises(Exception):
+        config.timeout = 5.0

@@ -1,0 +1,147 @@
+"""SimulatedDisk: gap resolution, energy accounting, protocol errors."""
+
+import pytest
+
+from repro.disk.disk import SimulatedDisk
+from repro.disk.power_model import fujitsu_mhf2043at
+from repro.errors import DiskStateError
+
+
+@pytest.fixture
+def params():
+    return fujitsu_mhf2043at()
+
+
+def test_idle_gap_energy_without_shutdown(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.serve(10.0, 0.0)
+    disk.finalize()
+    assert disk.ledger.idle_long == pytest.approx(params.idle_power * 10.0)
+    assert disk.ledger.power_cycle == 0.0
+    assert disk.shutdown_count == 0
+
+
+def test_short_gap_classified_below_breakeven(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.serve(2.0, 0.0)
+    disk.finalize()
+    assert disk.ledger.idle_short == pytest.approx(params.idle_power * 2.0)
+    assert disk.ledger.idle_long == 0.0
+
+
+def test_busy_energy(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.5)
+    disk.finalize()
+    assert disk.ledger.busy == pytest.approx(params.busy_power * 0.5)
+
+
+def test_shutdown_gap_energy(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.schedule_shutdown(1.0)
+    report = disk.serve(100.0, 0.0)
+    disk.finalize()
+    assert report is not None and report.shutdown_at == pytest.approx(1.0)
+    on_idle = params.idle_power * 1.0
+    residence = params.standby_power * (99.0 - params.transition_time)
+    assert disk.ledger.idle_long == pytest.approx(on_idle + residence)
+    assert disk.ledger.power_cycle == pytest.approx(params.cycle_energy)
+    assert disk.shutdown_count == 1
+    assert disk.spinup_count == 1
+
+
+def test_request_arriving_mid_transition_still_pays_cycle(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.schedule_shutdown(0.0)
+    disk.serve(1.0, 0.0)  # inside shutdown+spinup window
+    disk.finalize()
+    assert disk.ledger.power_cycle == pytest.approx(params.cycle_energy)
+    assert disk.ledger.standby == 0.0
+
+
+def test_energy_saving_matches_closed_form(params):
+    """Shutdown at t=0 in a gap of length L must equal the closed-form
+    energy_shutdown_window(L)."""
+    gap = 50.0
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.schedule_shutdown(0.0)
+    disk.serve(gap, 0.0)
+    disk.finalize()
+    expected = params.energy_shutdown_window(gap)
+    measured = disk.ledger.idle_long + disk.ledger.power_cycle
+    assert measured == pytest.approx(expected)
+
+
+def test_serialized_requests_do_not_create_gaps(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 1.0)
+    report = disk.serve(0.5, 1.0)  # arrives while busy
+    assert report is None
+    assert disk.busy_until == pytest.approx(2.0)
+    disk.finalize()
+    assert disk.ledger.busy == pytest.approx(params.busy_power * 2.0)
+    assert disk.ledger.idle_short == 0.0
+
+
+def test_leading_gap_accounted_from_start_time(params):
+    disk = SimulatedDisk(params, start_time=0.0)
+    disk.serve(20.0, 0.0)
+    disk.finalize()
+    assert disk.ledger.idle_long == pytest.approx(params.idle_power * 20.0)
+
+
+def test_trailing_gap_accounted_by_finalize(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.finalize(30.0)
+    assert disk.ledger.idle_long == pytest.approx(params.idle_power * 30.0)
+
+
+def test_shutdown_while_busy_rejected(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 1.0)
+    with pytest.raises(DiskStateError):
+        disk.schedule_shutdown(0.5)
+
+
+def test_double_shutdown_rejected(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.schedule_shutdown(1.0)
+    with pytest.raises(DiskStateError):
+        disk.schedule_shutdown(2.0)
+
+
+def test_time_travel_rejected(params):
+    disk = SimulatedDisk(params)
+    disk.serve(10.0, 0.0)
+    with pytest.raises(DiskStateError):
+        disk.serve(5.0, 0.0)
+
+
+def test_use_after_finalize_rejected(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.finalize()
+    with pytest.raises(DiskStateError):
+        disk.serve(1.0, 0.0)
+
+
+def test_negative_duration_rejected(params):
+    disk = SimulatedDisk(params)
+    with pytest.raises(ValueError):
+        disk.serve(0.0, -1.0)
+
+
+def test_gap_report_fields(params):
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.schedule_shutdown(2.0)
+    report = disk.serve(12.0, 0.0)
+    assert report.length == pytest.approx(12.0)
+    assert report.off_window == pytest.approx(10.0)

@@ -1,0 +1,59 @@
+"""Disk state machine: legal transitions and helpers."""
+
+import pytest
+
+from repro.disk.states import (
+    LEGAL_TRANSITIONS,
+    DiskState,
+    check_transition,
+    is_spun_up,
+)
+from repro.errors import DiskStateError
+
+
+def test_active_can_only_go_idle():
+    check_transition(DiskState.ACTIVE, DiskState.IDLE)
+    with pytest.raises(DiskStateError):
+        check_transition(DiskState.ACTIVE, DiskState.STANDBY)
+
+
+def test_idle_supports_service_and_shutdown():
+    check_transition(DiskState.IDLE, DiskState.ACTIVE)
+    check_transition(DiskState.IDLE, DiskState.SPINNING_DOWN)
+    check_transition(DiskState.IDLE, DiskState.LOW_POWER_IDLE)
+
+
+def test_standby_needs_spinup_before_service():
+    with pytest.raises(DiskStateError):
+        check_transition(DiskState.STANDBY, DiskState.ACTIVE)
+    check_transition(DiskState.STANDBY, DiskState.SPINNING_UP)
+
+
+def test_request_during_spin_down_redirects_to_spin_up():
+    check_transition(DiskState.SPINNING_DOWN, DiskState.SPINNING_UP)
+
+
+def test_no_self_transitions():
+    for state, targets in LEGAL_TRANSITIONS.items():
+        assert state not in targets
+
+
+def test_every_state_has_an_exit():
+    for state in DiskState:
+        assert LEGAL_TRANSITIONS[state], f"{state} is a dead end"
+
+
+def test_is_spun_up_matches_platter_states():
+    assert is_spun_up(DiskState.ACTIVE)
+    assert is_spun_up(DiskState.IDLE)
+    assert is_spun_up(DiskState.LOW_POWER_IDLE)
+    assert not is_spun_up(DiskState.STANDBY)
+    assert not is_spun_up(DiskState.SPINNING_DOWN)
+    assert not is_spun_up(DiskState.SPINNING_UP)
+
+
+def test_graph_is_closed_under_diskstate():
+    states = set(DiskState)
+    assert set(LEGAL_TRANSITIONS) == states
+    for targets in LEGAL_TRANSITIONS.values():
+        assert targets <= states

@@ -1,0 +1,87 @@
+"""EnergyBreakdown ledger arithmetic (Figure 8 components)."""
+
+import pytest
+
+from repro.disk.energy import EnergyBreakdown, sum_breakdowns
+
+
+def test_total_sums_components():
+    ledger = EnergyBreakdown()
+    ledger.add_busy(1.0)
+    ledger.add_idle(2.0, long_period=False)
+    ledger.add_idle(3.0, long_period=True)
+    ledger.add_power_cycle(0.5)
+    assert ledger.total == pytest.approx(6.5)
+
+
+def test_standby_counts_inside_idle_bucket():
+    ledger = EnergyBreakdown()
+    ledger.add_standby(2.0, long_period=True)
+    assert ledger.idle_long == pytest.approx(2.0)
+    assert ledger.standby == pytest.approx(2.0)
+    assert ledger.total == pytest.approx(2.0)
+
+
+def test_fractions_of_baseline():
+    ledger = EnergyBreakdown(busy=1.0, idle_short=1.0, idle_long=2.0)
+    fractions = ledger.fractions_of(8.0)
+    assert fractions["busy"] == pytest.approx(0.125)
+    assert fractions["idle_long"] == pytest.approx(0.25)
+    assert fractions["power_cycle"] == 0.0
+
+
+def test_fractions_reject_nonpositive_baseline():
+    with pytest.raises(ValueError):
+        EnergyBreakdown().fractions_of(0.0)
+
+
+def test_savings_versus_baseline():
+    base = EnergyBreakdown(idle_long=10.0)
+    managed = EnergyBreakdown(idle_long=2.0, power_cycle=1.0)
+    assert managed.savings_versus(base) == pytest.approx(0.7)
+
+
+def test_savings_can_be_negative_for_wasteful_policies():
+    base = EnergyBreakdown(idle_long=1.0)
+    wasteful = EnergyBreakdown(idle_long=1.0, power_cycle=1.0)
+    assert wasteful.savings_versus(base) < 0
+
+
+def test_combined_is_componentwise():
+    a = EnergyBreakdown(busy=1.0, idle_short=2.0)
+    b = EnergyBreakdown(busy=0.5, idle_long=3.0, power_cycle=0.1)
+    c = a.combined(b)
+    assert c.busy == pytest.approx(1.5)
+    assert c.idle_short == pytest.approx(2.0)
+    assert c.idle_long == pytest.approx(3.0)
+    assert c.power_cycle == pytest.approx(0.1)
+    # operands untouched
+    assert a.busy == pytest.approx(1.0)
+
+
+def test_sum_breakdowns_matches_repeated_combined():
+    parts = [
+        EnergyBreakdown(busy=float(i), idle_long=2.0 * i) for i in range(5)
+    ]
+    total = sum_breakdowns(parts)
+    assert total.busy == pytest.approx(10.0)
+    assert total.idle_long == pytest.approx(20.0)
+
+
+def test_tiny_negative_noise_clamped():
+    ledger = EnergyBreakdown()
+    ledger.add_idle(-1e-12, long_period=True)
+    assert ledger.idle_long == 0.0
+
+
+def test_genuinely_negative_energy_rejected():
+    ledger = EnergyBreakdown()
+    with pytest.raises(ValueError):
+        ledger.add_busy(-1.0)
+
+
+def test_approx_equals():
+    a = EnergyBreakdown(busy=1.0)
+    b = EnergyBreakdown(busy=1.0 + 1e-12)
+    assert a.approx_equals(b)
+    assert not a.approx_equals(EnergyBreakdown(busy=2.0))

@@ -1,0 +1,134 @@
+"""evaluate_local_stream: driving one predictor over one process."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.predictors.registry import make_spec
+from repro.predictors.timeout import TimeoutPredictor
+from repro.sim.engine import evaluate_local_stream
+from tests.helpers import accesses_at
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig()
+
+
+def test_timeout_hits_long_gap(config):
+    accesses = accesses_at([0.0, 50.0])
+    stats = evaluate_local_stream(
+        accesses, TimeoutPredictor(10.0), config, start_time=0.0,
+        end_time=50.0,
+    )
+    assert stats.hits_primary == 1
+    assert stats.opportunities == 1
+
+
+def test_timeout_sleeps_through_medium_gap(config):
+    # Gap of 8 s: opportunity, but below the 10 s timer.
+    accesses = accesses_at([0.0, 8.0])
+    stats = evaluate_local_stream(
+        accesses, TimeoutPredictor(10.0), config, start_time=0.0,
+        end_time=8.0,
+    )
+    assert stats.opportunities == 1
+    assert stats.shutdowns == 0
+    assert stats.not_predicted == 1
+
+
+def test_timeout_late_fire_is_miss(config):
+    # Gap of 12 s: timer fires at 10 s, off-window 2 s < breakeven.
+    accesses = accesses_at([0.0, 12.0])
+    stats = evaluate_local_stream(
+        accesses, TimeoutPredictor(10.0), config, start_time=0.0,
+        end_time=12.0,
+    )
+    assert stats.misses_primary == 1
+
+
+def test_leading_gap_counts(config):
+    accesses = accesses_at([50.0])
+    stats = evaluate_local_stream(
+        accesses, TimeoutPredictor(10.0), config, start_time=0.0,
+        end_time=50.0,
+    )
+    assert stats.opportunities == 1
+    assert stats.hits_primary == 1
+
+
+def test_trailing_gap_counts(config):
+    accesses = accesses_at([0.0])
+    stats = evaluate_local_stream(
+        accesses, TimeoutPredictor(10.0), config, start_time=0.0,
+        end_time=100.0,
+    )
+    assert stats.opportunities == 1
+    assert stats.hits_primary == 1
+
+
+def test_empty_stream_has_leading_gap_only(config):
+    stats = evaluate_local_stream(
+        [], TimeoutPredictor(10.0), config, start_time=0.0, end_time=60.0
+    )
+    assert stats.gaps == 1
+    assert stats.hits_primary == 1  # initial intent covers it
+
+
+def test_pcap_trains_and_predicts_across_stream(config):
+    spec = make_spec("PCAP", config)
+    predictor = spec.local_factory(1)
+    # Three bursts with the same single PC separated by long gaps:
+    # first gap trains (backup TP hits), later gaps hit via PCAP.
+    accesses = accesses_at([0.0, 50.0, 100.0, 150.0], pc=0xAA)
+    stats = evaluate_local_stream(
+        accesses, predictor, config, start_time=0.0, end_time=200.0
+    )
+    assert stats.opportunities == 4
+    assert stats.hits_backup >= 1
+    assert stats.hits_primary >= 2
+    assert stats.misses == 0
+
+
+def test_trailing_gap_trains_for_next_execution(config):
+    spec = make_spec("PCAP", config)
+    # Execution 1: single access then a long trailing gap.
+    stats1 = evaluate_local_stream(
+        accesses_at([0.0], pc=0xBB), spec.local_factory(1), config,
+        start_time=0.0, end_time=60.0,
+    )
+    spec.on_execution_end()
+    assert stats1.hits_primary == 0
+    # Execution 2: same pattern now predicted by the primary.
+    stats2 = evaluate_local_stream(
+        accesses_at([0.0], pc=0xBB), spec.local_factory(1), config,
+        start_time=0.0, end_time=60.0,
+    )
+    assert stats2.hits_primary == 1
+
+
+def test_inverted_window_rejected(config):
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        evaluate_local_stream(
+            [], TimeoutPredictor(), config, start_time=10.0, end_time=0.0
+        )
+
+
+def test_wait_window_cancellation(config):
+    """A matched PCAP prediction followed by I/O inside the wait-window
+    must not produce a shutdown (no miss recorded)."""
+    spec = make_spec("PCAP", config)
+    predictor = spec.local_factory(1)
+    # Train: PC 0xCC before a long gap.
+    evaluate_local_stream(
+        accesses_at([0.0], pc=0xCC), predictor, config,
+        start_time=0.0, end_time=30.0,
+    )
+    # Re-drive with an access 0.5 s (inside the window) after the match.
+    predictor2 = spec.local_factory(1)
+    stats = evaluate_local_stream(
+        accesses_at([0.0, 0.5, 40.0], pc=0xCC), predictor2, config,
+        start_time=0.0, end_time=41.0,
+    )
+    assert stats.misses == 0

@@ -1,0 +1,69 @@
+"""Trace event records and ordering."""
+
+import pytest
+
+from repro.traces.events import (
+    KERNEL_FLUSH_PC,
+    AccessType,
+    ExitEvent,
+    ForkEvent,
+    IOEvent,
+    event_sort_key,
+)
+from tests.helpers import io_event
+
+
+def test_blocks_range():
+    event = io_event(0.0, block_start=100, block_count=4)
+    assert list(event.blocks) == [100, 101, 102, 103]
+
+
+def test_zero_blocks_is_empty_range():
+    event = io_event(0.0, block_count=0)
+    assert len(event.blocks) == 0
+
+
+def test_is_write_covers_all_write_kinds():
+    assert io_event(0.0, kind=AccessType.WRITE).is_write
+    assert io_event(0.0, kind=AccessType.SYNC_WRITE).is_write
+    assert io_event(0.0, kind=AccessType.FLUSH).is_write
+    assert not io_event(0.0, kind=AccessType.READ).is_write
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        io_event(-1.0)
+
+
+def test_pc_must_be_32bit():
+    with pytest.raises(ValueError):
+        io_event(0.0, pc=2**32)
+    with pytest.raises(ValueError):
+        io_event(0.0, pc=-1)
+
+
+def test_fork_of_self_rejected():
+    with pytest.raises(ValueError):
+        ForkEvent(time=0.0, pid=5, parent_pid=5)
+
+
+def test_sort_key_orders_fork_io_exit_at_same_instant():
+    fork = ForkEvent(time=1.0, pid=2, parent_pid=1)
+    io = io_event(1.0, pid=2)
+    exit_ = ExitEvent(time=1.0, pid=2)
+    keys = [event_sort_key(e) for e in (exit_, io, fork)]
+    assert sorted(keys) == [
+        event_sort_key(fork),
+        event_sort_key(io),
+        event_sort_key(exit_),
+    ]
+
+
+def test_sort_key_primary_order_is_time():
+    early_exit = ExitEvent(time=0.5, pid=1)
+    late_fork = ForkEvent(time=1.0, pid=2, parent_pid=3)
+    assert event_sort_key(early_exit) < event_sort_key(late_fork)
+
+
+def test_kernel_flush_pc_is_valid_32bit_pc():
+    assert 0 <= KERNEL_FLUSH_PC < 2**32

@@ -1,0 +1,109 @@
+"""ExperimentRunner: matrices, filtering cache, table reuse loops."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.sim.experiment import ExperimentRunner
+from repro.traces.trace import ApplicationTrace
+from tests.helpers import single_process_execution
+
+
+def _toy_suite():
+    """Two-app suite: each execution is one PC burst then a long gap,
+    repeated (PCAP-learnable)."""
+
+    def make_trace(name, pc, executions):
+        traces = []
+        for index in range(executions):
+            points = []
+            t = 0.0
+            for rep in range(3):
+                for j in range(3):
+                    points.append((t, pc + 16 * j))
+                    t += 0.1
+                t += 30.0
+            traces.append(
+                single_process_execution(
+                    points, application=name, execution_index=index,
+                    end_time=t,
+                )
+            )
+        return ApplicationTrace(name, traces)
+
+    return {
+        "alpha": make_trace("alpha", 0x1000, 4),
+        "beta": make_trace("beta", 0x9000, 3),
+    }
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(_toy_suite(), SimulationConfig())
+
+
+def test_applications_listing(runner):
+    assert runner.applications == ["alpha", "beta"]
+
+
+def test_filtered_is_memoized(runner):
+    first = runner.filtered("alpha")
+    second = runner.filtered("alpha")
+    assert first is second
+    assert len(first) == 4
+
+
+def test_global_run_aggregates_executions(runner):
+    result = runner.run_global("alpha", "TP")
+    assert result.executions == 4
+    # 3 long gaps per execution (incl. trailing).
+    assert result.stats.opportunities == 12
+    assert result.energy > 0
+
+
+def test_pcap_improves_across_executions(runner):
+    result = runner.run_global("alpha", "PCAP")
+    # First execution trains (3 signatures at most); the rest hit.
+    assert result.stats.hits_primary >= 8
+    assert result.table_size >= 1
+
+
+def test_pcapa_never_accumulates(runner):
+    result = runner.run_global("alpha", "PCAPa")
+    reuse = runner.run_global("alpha", "PCAP")
+    assert result.stats.hits_primary < reuse.stats.hits_primary
+
+
+def test_local_run(runner):
+    result = runner.run_local("alpha", "PCAP")
+    assert result.stats.opportunities == 12
+    assert result.predictor == "PCAP"
+
+
+def test_local_rejects_omniscient(runner):
+    with pytest.raises(SimulationError):
+        runner.run_local("alpha", "Ideal")
+
+
+def test_run_matrix_shape(runner):
+    matrix = runner.run_matrix(["TP", "PCAP"], mode="global")
+    assert set(matrix) == {"alpha", "beta"}
+    assert set(matrix["alpha"]) == {"TP", "PCAP"}
+
+
+def test_run_matrix_rejects_unknown_mode(runner):
+    with pytest.raises(ValueError):
+        runner.run_matrix(["TP"], mode="sideways")
+
+
+def test_unknown_application_rejected(runner):
+    with pytest.raises(SimulationError):
+        runner.run_global("gamma", "TP")
+
+
+def test_energy_ordering_on_toy_suite(runner):
+    base = runner.run_global("alpha", "Base").energy
+    ideal = runner.run_global("alpha", "Ideal").energy
+    pcap = runner.run_global("alpha", "PCAP").energy
+    tp = runner.run_global("alpha", "TP").energy
+    assert ideal < pcap < tp < base

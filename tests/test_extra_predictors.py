@@ -1,0 +1,118 @@
+"""PB (previous-busy) and ST (stochastic timeout) predictors."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.disk.power_model import fujitsu_mhf2043at
+from repro.errors import ConfigurationError
+from repro.predictors.base import IdleClass, IdleFeedback, PredictorSource
+from repro.predictors.previous_busy import PreviousBusyPredictor
+from repro.predictors.registry import make_spec
+from repro.predictors.stochastic import StochasticTimeoutPredictor
+from repro.sim.engine import evaluate_local_stream
+from tests.helpers import access, accesses_at
+
+PARAMS = fujitsu_mhf2043at()
+
+
+# ----------------------------------------------------------------- PB
+def test_pb_predicts_after_short_burst():
+    pb = PreviousBusyPredictor(busy_threshold=2.0)
+    intent = pb.on_access(access(0.0))
+    assert intent.source == PredictorSource.PRIMARY
+    assert intent.predicts_shutdown
+
+
+def test_pb_holds_back_after_long_burst():
+    pb = PreviousBusyPredictor(busy_threshold=2.0)
+    pb.on_access(access(0.0))
+    pb.on_access(access(1.0))
+    intent = pb.on_access(access(2.5))  # burst span 2.5 >= threshold
+    assert not intent.predicts_shutdown
+
+
+def test_pb_burst_resets_on_visible_idle():
+    pb = PreviousBusyPredictor(busy_threshold=2.0)
+    pb.on_access(access(0.0))
+    pb.on_access(access(2.5))
+    pb.on_idle_end(IdleFeedback(2.6, 10.0, IdleClass.LONG))
+    intent = pb.on_access(access(10.0))  # new burst: span 0
+    assert intent.predicts_shutdown
+
+
+def test_pb_sub_window_gap_keeps_burst_open():
+    pb = PreviousBusyPredictor(busy_threshold=2.0)
+    pb.on_access(access(0.0))
+    pb.on_idle_end(IdleFeedback(0.1, 0.5, IdleClass.SUB_WINDOW))
+    intent = pb.on_access(access(2.5))
+    assert not intent.predicts_shutdown  # still the same long burst
+
+
+def test_pb_validation():
+    with pytest.raises(ConfigurationError):
+        PreviousBusyPredictor(busy_threshold=0.0)
+
+
+# ----------------------------------------------------------------- ST
+def _feed(st, lengths):
+    for length in lengths:
+        st.on_idle_end(IdleFeedback(0.0, length, IdleClass.LONG))
+
+
+def test_st_starts_at_breakeven():
+    st = StochasticTimeoutPredictor(PARAMS)
+    assert st.timeout == pytest.approx(PARAMS.breakeven_time())
+
+
+def test_st_long_idle_history_shrinks_timeout():
+    st = StochasticTimeoutPredictor(PARAMS, reoptimize_every=1)
+    _feed(st, [120.0] * 16)
+    # All periods long: the optimal policy shuts down immediately-ish.
+    assert st.timeout < 1.0
+
+
+def test_st_short_idle_history_disables_shutdowns():
+    st = StochasticTimeoutPredictor(PARAMS, reoptimize_every=1)
+    _feed(st, [2.0] * 16)
+    # All periods below breakeven: the armed timeout is at least as long
+    # as every observed period, so a shutdown never actually fires (the
+    # engine fires only when the timer expires strictly inside the gap).
+    assert st.timeout >= 2.0
+
+
+def test_st_expected_energy_matches_hand_computation():
+    st = StochasticTimeoutPredictor(PARAMS, reoptimize_every=10**9)
+    _feed(st, [10.0])
+    tau = 4.0
+    expected = (
+        PARAMS.idle_power * tau
+        + PARAMS.cycle_energy
+        + PARAMS.standby_power * (10.0 - tau - PARAMS.transition_time)
+    )
+    assert st.expected_energy(tau) == pytest.approx(expected)
+
+
+def test_st_sample_thinning_bounds_memory():
+    st = StochasticTimeoutPredictor(PARAMS, max_samples=16,
+                                    reoptimize_every=10**9)
+    _feed(st, [float(i + 1) for i in range(64)])
+    assert len(st._samples) <= 16
+
+
+def test_st_validation():
+    with pytest.raises(ConfigurationError):
+        StochasticTimeoutPredictor(PARAMS, max_samples=0)
+
+
+# ------------------------------------------------------------ end-to-end
+@pytest.mark.parametrize("name", ["PB", "ST"])
+def test_new_predictors_run_through_engine(name):
+    config = SimulationConfig()
+    spec = make_spec(name, config)
+    stream = accesses_at([0.0, 0.2, 0.4, 30.0, 30.2, 70.0])
+    stats = evaluate_local_stream(
+        stream, spec.local_factory(1), config, start_time=0.0,
+        end_time=120.0,
+    )
+    assert stats.gaps >= 3
+    assert stats.hits + stats.misses == stats.shutdowns

@@ -1,0 +1,87 @@
+"""Predictor-envelope workloads: clockwork / chaos / shapeshifter."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.experiment import ExperimentRunner
+from repro.workloads.extremes import (
+    build_chaos,
+    build_clockwork,
+    build_extremes,
+    build_shapeshifter,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(build_extremes(executions=8), SimulationConfig())
+
+
+def test_all_executions_validate():
+    for trace in build_extremes(executions=3).values():
+        for execution in trace.executions:
+            execution.validate()
+
+
+def test_clockwork_is_deterministic():
+    a = build_clockwork(executions=2)
+    b = build_clockwork(executions=2)
+    assert a.executions[0].events == b.executions[0].events
+
+
+def test_chaos_pcs_never_repeat():
+    trace = build_chaos(executions=3)
+    pcs = [e.pc for ex in trace.executions for e in ex.io_events]
+    assert len(set(pcs)) == len(pcs)
+
+
+def test_clockwork_pcap_approaches_perfect_coverage(runner):
+    result = runner.run_global("clockwork", "PCAP")
+    stats = result.stats
+    # One training period, then the primary covers everything.
+    assert stats.hit_fraction > 0.95
+    assert stats.hits_primary >= stats.opportunities - 2
+    assert stats.misses == 0
+    assert result.table_size == 1  # a single signature suffices
+
+
+def test_chaos_pcap_degrades_to_timeout_never_below(runner):
+    pcap = runner.run_global("chaos", "PCAP").stats
+    tp = runner.run_global("chaos", "TP").stats
+    # The primary never fires (no signature recurs) ...
+    assert pcap.hits_primary == 0
+    # ... and the backup gives exactly the timeout predictor's coverage
+    # (the §4.3 safety floor).
+    assert pcap.hits_backup == tp.hits_primary
+    assert pcap.miss_fraction == pytest.approx(tp.miss_fraction)
+
+
+def test_chaos_bloats_the_table(runner):
+    result = runner.run_global("chaos", "PCAP")
+    # Every long idle period trains a new never-reused signature.
+    assert result.table_size > 50
+
+
+def test_shapeshifter_retrains_after_the_switch(runner):
+    result = runner.run_global("shapeshifter", "PCAP")
+    stats = result.stats
+    # Both code versions get learned: coverage is high overall, with
+    # exactly two training transients (one per version).
+    assert stats.hit_fraction > 0.9
+    assert result.table_size == 2
+
+
+def test_shapeshifter_lru_capacity_one_forces_retraining():
+    """With a one-entry table the regime switch evicts the old entry —
+    the paper's 'simple LRU mechanism would be sufficient'."""
+    from repro.core.variants import pcap
+    from repro.predictors.registry import pcap_spec
+
+    config = SimulationConfig()
+    runner = ExperimentRunner(
+        {"shapeshifter": build_shapeshifter(executions=8)}, config
+    )
+    spec = pcap_spec(config, pcap(table_capacity=1))
+    result = runner.run_global("shapeshifter", spec)
+    assert result.table_size == 1
+    assert result.stats.hit_fraction > 0.85

@@ -1,0 +1,151 @@
+"""Global Shutdown Predictor (§5): AND-combination across processes."""
+
+import pytest
+
+from repro.core.global_predictor import GlobalShutdownPredictor
+from repro.errors import SimulationError
+from repro.predictors.base import (
+    IdleClass,
+    IdleFeedback,
+    LocalPredictor,
+    PredictorSource,
+    ShutdownIntent,
+)
+from repro.predictors.timeout import TimeoutPredictor
+from tests.helpers import access
+
+
+class ScriptedPredictor(LocalPredictor):
+    """Returns a fixed intent; records feedback for inspection."""
+
+    def __init__(self, intent: ShutdownIntent):
+        self.intent = intent
+        self.feedback: list[IdleFeedback] = []
+
+    def initial_intent(self, start_time):
+        return self.intent
+
+    def on_access(self, access):
+        return self.intent
+
+    def on_idle_end(self, feedback):
+        self.feedback.append(feedback)
+
+
+def make_global(factory, wait_window=1.0, breakeven=5.445):
+    return GlobalShutdownPredictor(
+        factory, wait_window=wait_window, breakeven=breakeven
+    )
+
+
+def test_decision_is_latest_ready_time():
+    combiner = make_global(lambda pid: TimeoutPredictor(10.0))
+    combiner.process_started(0.0, 1)
+    combiner.process_started(0.0, 2)
+    combiner.on_access(access(5.0, pid=1), busy_end=5.01)
+    decision = combiner.decision()
+    # pid 2 ready at 10.0, pid 1 at 15.01 -> latest wins.
+    assert decision.ready_time == pytest.approx(15.01)
+
+
+def test_any_never_intent_blocks_shutdown():
+    intents = {
+        1: ShutdownIntent(delay=1.0),
+        2: ShutdownIntent.never(),
+    }
+    combiner = make_global(lambda pid: ScriptedPredictor(intents[pid]))
+    combiner.process_started(0.0, 1)
+    combiner.process_started(0.0, 2)
+    assert combiner.decision() is None
+
+
+def test_blocking_process_exit_unblocks():
+    intents = {
+        1: ShutdownIntent(delay=1.0),
+        2: ShutdownIntent.never(),
+    }
+    combiner = make_global(lambda pid: ScriptedPredictor(intents[pid]))
+    combiner.process_started(0.0, 1)
+    combiner.process_started(0.0, 2)
+    combiner.process_exited(50.0, 2)
+    decision = combiner.decision()
+    assert decision is not None
+    assert decision.ready_time == pytest.approx(1.0)
+
+
+def test_attribution_goes_to_last_decider():
+    """§6.4: the shutdown is attributed to the predictor type making the
+    last decision."""
+    intents = {
+        1: ShutdownIntent(delay=1.0, source=PredictorSource.PRIMARY),
+        2: ShutdownIntent(delay=10.0, source=PredictorSource.BACKUP),
+    }
+    combiner = make_global(lambda pid: ScriptedPredictor(intents[pid]))
+    combiner.process_started(0.0, 1)
+    combiner.process_started(0.0, 2)
+    decision = combiner.decision()
+    assert decision.source == PredictorSource.BACKUP
+
+
+def test_no_live_processes_allows_immediate_shutdown():
+    combiner = make_global(lambda pid: TimeoutPredictor(10.0))
+    decision = combiner.decision()
+    assert decision.ready_time == float("-inf")
+
+
+def test_per_process_feedback_uses_own_stream():
+    recorders = {}
+
+    def factory(pid):
+        recorders[pid] = ScriptedPredictor(ShutdownIntent.never())
+        return recorders[pid]
+
+    combiner = make_global(factory)
+    combiner.process_started(0.0, 1)
+    combiner.process_started(0.0, 2)
+    combiner.on_access(access(1.0, pid=1), busy_end=1.01)
+    combiner.on_access(access(2.0, pid=2), busy_end=2.01)
+    # pid 1 idle since 1.01; its next access at 20 gets LONG feedback.
+    combiner.on_access(access(20.0, pid=1), busy_end=20.01)
+    assert len(recorders[1].feedback) == 2  # leading gap + the long one
+    assert recorders[1].feedback[-1].idle_class == IdleClass.LONG
+    assert recorders[1].feedback[-1].start == pytest.approx(1.01)
+    # pid 2 saw only its leading gap so far.
+    assert len(recorders[2].feedback) == 1
+
+
+def test_exit_delivers_trailing_feedback():
+    recorder = ScriptedPredictor(ShutdownIntent.never())
+    combiner = make_global(lambda pid: recorder)
+    combiner.process_started(0.0, 1)
+    combiner.on_access(access(1.0, pid=1), busy_end=1.01)
+    combiner.process_exited(100.0, 1)
+    assert recorder.feedback[-1].idle_class == IdleClass.LONG
+    assert recorder.feedback[-1].end == pytest.approx(100.0)
+
+
+def test_duplicate_start_rejected():
+    combiner = make_global(lambda pid: TimeoutPredictor())
+    combiner.process_started(0.0, 1)
+    with pytest.raises(SimulationError):
+        combiner.process_started(1.0, 1)
+
+
+def test_unknown_exit_rejected():
+    combiner = make_global(lambda pid: TimeoutPredictor())
+    with pytest.raises(SimulationError):
+        combiner.process_exited(0.0, 9)
+
+
+def test_access_from_dead_pid_rejected():
+    combiner = make_global(lambda pid: TimeoutPredictor())
+    with pytest.raises(SimulationError):
+        combiner.on_access(access(0.0, pid=9), busy_end=0.01)
+
+
+def test_live_pids_tracks_membership():
+    combiner = make_global(lambda pid: TimeoutPredictor())
+    combiner.process_started(0.0, 1)
+    combiner.process_started(0.0, 2)
+    combiner.process_exited(1.0, 1)
+    assert combiner.live_pids == {2}

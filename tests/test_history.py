@@ -1,0 +1,74 @@
+"""Idle-history register (§4.1.2, PCAPh)."""
+
+import pytest
+
+from repro.core.history import IdleHistoryRegister
+from repro.predictors.base import IdleClass
+
+
+def test_records_short_as_zero_long_as_one():
+    register = IdleHistoryRegister(4)
+    register.record(IdleClass.SHORT)
+    register.record(IdleClass.LONG)
+    assert register.bits == (0, 1)
+
+
+def test_sub_window_periods_not_recorded():
+    """Intervals shorter than the wait-window are filtered at run time
+    and excluded from the history (§4.1.2)."""
+    register = IdleHistoryRegister(4)
+    register.record(IdleClass.SUB_WINDOW)
+    assert register.bits == ()
+
+
+def test_window_keeps_only_last_n_bits():
+    register = IdleHistoryRegister(3)
+    for idle_class in (IdleClass.LONG, IdleClass.SHORT, IdleClass.LONG,
+                       IdleClass.LONG):
+        register.record(idle_class)
+    assert register.bits == (0, 1, 1)
+
+
+def test_as_int_distinguishes_lengths():
+    """(0,) and (0, 0) must produce different keys."""
+    a = IdleHistoryRegister(4)
+    a.record(IdleClass.SHORT)
+    b = IdleHistoryRegister(4)
+    b.record(IdleClass.SHORT)
+    b.record(IdleClass.SHORT)
+    assert a.as_int() != b.as_int()
+
+
+def test_as_int_distinguishes_patterns():
+    a = IdleHistoryRegister(4)
+    a.record(IdleClass.SHORT)
+    a.record(IdleClass.LONG)
+    b = IdleHistoryRegister(4)
+    b.record(IdleClass.LONG)
+    b.record(IdleClass.SHORT)
+    assert a.as_int() != b.as_int()
+
+
+def test_as_int_is_injective_over_all_short_patterns():
+    seen = {}
+    for length in range(0, 6):
+        for value in range(2**length):
+            register = IdleHistoryRegister(6)
+            for i in reversed(range(length)):
+                bit = (value >> i) & 1
+                register.record(IdleClass.LONG if bit else IdleClass.SHORT)
+            key = register.as_int()
+            assert key not in seen, (seen[key], register.bits)
+            seen[key] = register.bits
+
+
+def test_clear():
+    register = IdleHistoryRegister(4)
+    register.record(IdleClass.LONG)
+    register.clear()
+    assert register.bits == ()
+
+
+def test_invalid_length_rejected():
+    with pytest.raises(ValueError):
+        IdleHistoryRegister(0)

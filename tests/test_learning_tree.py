@@ -1,0 +1,153 @@
+"""Learning Tree: adaptive tree over idle-class sequences."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import (
+    IdleClass,
+    IdleFeedback,
+    PredictorSource,
+)
+from repro.predictors.learning_tree import (
+    PAPER_LT_HISTORY,
+    LearningTree,
+    LTPredictor,
+    LTVariant,
+)
+from tests.helpers import access
+
+
+def feed_periods(predictor, classes, start=0.0):
+    """Feed a sequence of idle classes separated by accesses."""
+    t = start
+    for idle_class in classes:
+        length = {"0": 3.0, "1": 30.0}[idle_class]
+        predictor.on_access(access(t))
+        predictor.on_idle_end(
+            IdleFeedback(
+                t + 0.01,
+                t + 0.01 + length,
+                IdleClass.LONG if idle_class == "1" else IdleClass.SHORT,
+            )
+        )
+        t += length + 1.0
+    return t
+
+
+def test_paper_history_length():
+    assert PAPER_LT_HISTORY == 8
+
+
+def test_untrained_tree_predicts_none():
+    tree = LearningTree()
+    assert tree.predict((1, 0, 1)) is None
+
+
+def test_figure2_pattern_two_shorts_then_long():
+    """The paper's Figure 2: two short periods repeatedly followed by a
+    long one teach the tree to predict the long period."""
+    tree = LearningTree(max_depth=4)
+    for _ in range(3):
+        tree.train((0, 0), outcome_long=True)
+        tree.train((0,), outcome_long=False)  # short follows one short
+    assert tree.predict((1, 0, 0)) is True
+    assert tree.predict((1, 0)) is False
+
+
+def test_saturated_deep_node_overrides_shallow():
+    """Training interleaves contexts: depth-1 history (1,) mostly long,
+    but the specific context (0, 1) consistently short.  The saturated
+    deep node must win in its context while the shallow node decides
+    elsewhere.  (Note train() reinforces every suffix, so the shallow
+    (1,) node absorbs both streams.)"""
+    tree = LearningTree(max_depth=4)
+    for _ in range(4):
+        tree.train((1,), outcome_long=True)   # (1,) -> up
+        tree.train((0, 1), outcome_long=False)  # (0,1) saturates short
+        tree.train((1,), outcome_long=True)   # keep (1,) >= 2
+    assert tree.predict((0, 1)) is False
+    assert tree.predict((1,)) is True
+
+
+def test_single_observation_does_not_predict_long():
+    """Nodes start at a neutral counter: one long observation must not
+    immediately trigger shutdowns (slow-start training)."""
+    tree = LearningTree()
+    tree.train((0,), outcome_long=True)
+    assert tree.predict((0,)) is not True
+
+
+def test_empty_history_never_trains():
+    tree = LearningTree()
+    tree.train((), outcome_long=True)
+    assert len(tree) == 0
+
+
+def test_lt_predictor_emits_primary_on_confident_long():
+    tree = LearningTree(max_depth=4)
+    lt = LTPredictor(tree)
+    feed_periods(lt, "111")  # trains (1,)->long twice
+    intent = lt.on_access(access(100.0))
+    assert intent.source == PredictorSource.PRIMARY
+    assert intent.delay == pytest.approx(lt.wait_window)
+
+
+def test_lt_predictor_falls_back_during_training():
+    lt = LTPredictor(LearningTree())
+    intent = lt.on_access(access(0.0))
+    assert intent.source == PredictorSource.BACKUP
+
+
+def test_lt_short_prediction_also_backs_off_to_timeout():
+    tree = LearningTree(max_depth=4)
+    lt = LTPredictor(tree)
+    feed_periods(lt, "000")
+    intent = lt.on_access(access(100.0))
+    assert intent.source == PredictorSource.BACKUP
+
+
+def test_lt_sub_window_gaps_invisible():
+    lt = LTPredictor(LearningTree())
+    lt.on_access(access(0.0))
+    lt.on_idle_end(IdleFeedback(0.01, 0.5, IdleClass.SUB_WINDOW))
+    assert len(lt.tree) == 0
+    assert list(lt._history) == []
+
+
+def test_lt_begin_execution_clears_history_not_tree():
+    tree = LearningTree(max_depth=4)
+    lt = LTPredictor(tree)
+    feed_periods(lt, "11")
+    lt.begin_execution(0.0)
+    assert list(lt._history) == []
+    assert len(tree) > 0
+
+
+def test_variant_shares_tree_across_processes():
+    variant = LTVariant()
+    a = variant.create_local(1)
+    b = variant.create_local(2)
+    assert a.tree is b.tree is variant.tree
+
+
+def test_variant_reuse_policy():
+    keep = LTVariant(reuse_tree=True)
+    keep.tree.train((1,), outcome_long=True)
+    keep.on_execution_end()
+    assert keep.table_size == 1
+
+    discard = LTVariant(reuse_tree=False)
+    discard.tree.train((1,), outcome_long=True)
+    discard.on_execution_end()
+    assert discard.table_size == 0
+    assert discard.name == "LTa"
+    assert keep.name == "LT"
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        LearningTree(max_depth=0)
+    with pytest.raises(ConfigurationError):
+        LTPredictor(LearningTree(), wait_window=-0.5)
+    with pytest.raises(ConfigurationError):
+        LTPredictor(LearningTree(), backup_timeout=0.0)

@@ -1,0 +1,92 @@
+"""Generic LRU mapping."""
+
+import pytest
+
+from repro.cache.lru import LRUMapping
+
+
+def test_put_and_get():
+    lru = LRUMapping(capacity=2)
+    lru.put("a", 1)
+    assert lru.get("a") == 1
+    assert lru.get("b") is None
+
+
+def test_eviction_order_is_least_recently_used():
+    lru = LRUMapping(capacity=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    evicted = lru.put("c", 3)
+    assert evicted == ("a", 1)
+    assert "a" not in lru
+    assert lru.evictions == 1
+
+
+def test_get_refreshes_recency():
+    lru = LRUMapping(capacity=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    lru.get("a")
+    evicted = lru.put("c", 3)
+    assert evicted == ("b", 2)
+
+
+def test_peek_does_not_refresh():
+    lru = LRUMapping(capacity=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    lru.peek("a")
+    evicted = lru.put("c", 3)
+    assert evicted == ("a", 1)
+
+
+def test_update_existing_refreshes_without_eviction():
+    lru = LRUMapping(capacity=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.put("a", 10) is None
+    assert lru.get("a") == 10
+    assert len(lru) == 2
+
+
+def test_unbounded_never_evicts():
+    lru = LRUMapping(capacity=None)
+    for i in range(1000):
+        assert lru.put(i, i) is None
+    assert len(lru) == 1000
+
+
+def test_pop():
+    lru = LRUMapping()
+    lru.put("a", 1)
+    assert lru.pop("a") == 1
+    assert lru.pop("a") is None
+
+
+def test_lru_key_and_iteration_order():
+    lru = LRUMapping(capacity=3)
+    for key in "abc":
+        lru.put(key, key)
+    lru.get("a")
+    assert lru.lru_key == "b"
+    assert list(lru) == ["b", "c", "a"]
+
+
+def test_items_snapshot():
+    lru = LRUMapping()
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.items() == [("a", 1), ("b", 2)]
+
+
+def test_clear():
+    lru = LRUMapping()
+    lru.put("a", 1)
+    lru.clear()
+    assert len(lru) == 0
+    assert lru.lru_key is None
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUMapping(capacity=0)

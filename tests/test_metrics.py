@@ -1,0 +1,109 @@
+"""PredictionStats: the hit/miss/not-predicted accounting of §6.1."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.predictors.base import PredictorSource
+from repro.sim.metrics import PredictionStats
+
+BE = 5.445
+PRIMARY = PredictorSource.PRIMARY
+BACKUP = PredictorSource.BACKUP
+
+
+def test_opportunity_counting():
+    stats = PredictionStats()
+    stats.record_gap(3.0, None, None, BE)
+    stats.record_gap(10.0, None, None, BE)
+    assert stats.gaps == 2
+    assert stats.opportunities == 1
+    assert stats.not_predicted == 1
+
+
+def test_hit_requires_off_window_beyond_breakeven():
+    stats = PredictionStats()
+    stats.record_gap(20.0, 1.0, PRIMARY, BE)  # off 19 > BE -> hit
+    assert stats.hits_primary == 1
+    assert stats.misses == 0
+
+
+def test_late_shutdown_in_long_gap_is_miss():
+    """A 10 s timer firing in a 12 s period leaves a 2 s off-window —
+    energy lost, counted as a miss even though the period was long."""
+    stats = PredictionStats()
+    stats.record_gap(12.0, 10.0, PRIMARY, BE)
+    assert stats.misses_primary == 1
+    assert stats.unsaved_in_opportunity == 1
+    assert stats.not_predicted == 0  # the opportunity was acted on
+
+
+def test_shutdown_in_short_gap_is_miss():
+    stats = PredictionStats()
+    stats.record_gap(3.0, 1.0, PRIMARY, BE)
+    assert stats.misses == 1
+    assert stats.unsaved_in_opportunity == 0
+    assert stats.opportunities == 0
+
+
+def test_fractions_normalized_to_opportunities():
+    stats = PredictionStats()
+    stats.record_gap(20.0, 1.0, PRIMARY, BE)   # hit
+    stats.record_gap(30.0, None, None, BE)     # not predicted
+    stats.record_gap(3.0, 1.0, BACKUP, BE)     # miss (short gap)
+    assert stats.hit_fraction == pytest.approx(0.5)
+    assert stats.not_predicted_fraction == pytest.approx(0.5)
+    assert stats.miss_fraction == pytest.approx(0.5)  # can stack over 100%
+
+
+def test_source_attribution():
+    stats = PredictionStats()
+    stats.record_gap(20.0, 1.0, PRIMARY, BE)
+    stats.record_gap(25.0, 10.0, BACKUP, BE)
+    assert stats.hit_primary_fraction == pytest.approx(0.5)
+    assert stats.hit_backup_fraction == pytest.approx(0.5)
+
+
+def test_zero_opportunities_fractions_are_zero():
+    stats = PredictionStats()
+    assert stats.hit_fraction == 0.0
+    assert stats.miss_fraction == 0.0
+
+
+def test_merge():
+    a = PredictionStats()
+    a.record_gap(20.0, 1.0, PRIMARY, BE)
+    b = PredictionStats()
+    b.record_gap(30.0, None, None, BE)
+    b.record_gap(2.0, 0.5, BACKUP, BE)
+    a.merge(b)
+    assert a.gaps == 3
+    assert a.opportunities == 2
+    assert a.hits == 1
+    assert a.misses == 1
+
+
+def test_merged_classmethod():
+    parts = []
+    for _ in range(3):
+        s = PredictionStats()
+        s.record_gap(20.0, 1.0, PRIMARY, BE)
+        parts.append(s)
+    total = PredictionStats.merged(parts)
+    assert total.hits_primary == 3
+
+
+def test_idle_seconds_accumulate():
+    stats = PredictionStats()
+    stats.record_gap(2.0, None, None, BE)
+    stats.record_gap(8.0, None, None, BE)
+    assert stats.idle_seconds == pytest.approx(10.0)
+
+
+def test_protocol_violations_rejected():
+    stats = PredictionStats()
+    with pytest.raises(SimulationError):
+        stats.record_gap(-1.0, None, None, BE)
+    with pytest.raises(SimulationError):
+        stats.record_gap(10.0, 1.0, None, BE)  # shutdown without source
+    with pytest.raises(SimulationError):
+        stats.record_gap(10.0, 11.0, PRIMARY, BE)  # shutdown after gap end

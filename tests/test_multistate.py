@@ -1,0 +1,94 @@
+"""MultiStateDisk: the §7 low-power-idle extension."""
+
+import pytest
+
+from repro.disk.multistate import MultiStateDisk
+from repro.disk.disk import SimulatedDisk
+from repro.disk.power_model import fujitsu_mhf2043at
+from repro.errors import DiskStateError
+
+
+@pytest.fixture
+def params():
+    return fujitsu_mhf2043at()
+
+
+def test_low_power_reduces_gap_energy(params):
+    plain = SimulatedDisk(params)
+    plain.serve(0.0, 0.0)
+    plain.serve(4.0, 0.0)
+    plain.finalize()
+
+    multi = MultiStateDisk(params)
+    multi.serve(0.0, 0.0)
+    multi.enter_low_power(1.0)
+    multi.serve(4.0, 0.0)
+    multi.finalize()
+
+    saved = (params.idle_power - params.low_power_idle_power) * 3.0
+    assert plain.ledger.total - multi.ledger.total == pytest.approx(saved)
+
+
+def test_low_power_then_shutdown(params):
+    disk = MultiStateDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.enter_low_power(0.5)
+    disk.schedule_shutdown(1.5)
+    disk.serve(50.0, 0.0)
+    disk.finalize()
+    expected_idle = (
+        params.idle_power * 0.5
+        + params.low_power_idle_power * 1.0
+        + params.standby_power * (48.5 - params.transition_time)
+    )
+    assert disk.ledger.idle_long == pytest.approx(expected_idle)
+    assert disk.ledger.power_cycle == pytest.approx(params.cycle_energy)
+
+
+def test_low_power_without_shutdown_ends_at_next_request(params):
+    disk = MultiStateDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.enter_low_power(2.0)
+    disk.serve(10.0, 0.0)
+    disk.finalize()
+    expected = params.idle_power * 2.0 + params.low_power_idle_power * 8.0
+    assert disk.ledger.idle_long == pytest.approx(expected)
+    assert disk.shutdown_count == 0
+
+
+def test_low_power_entry_while_busy_rejected(params):
+    disk = MultiStateDisk(params)
+    disk.serve(0.0, 1.0)
+    with pytest.raises(DiskStateError):
+        disk.enter_low_power(0.5)
+
+
+def test_double_low_power_entry_rejected(params):
+    disk = MultiStateDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.enter_low_power(1.0)
+    with pytest.raises(DiskStateError):
+        disk.enter_low_power(2.0)
+
+
+def test_low_power_state_resets_between_gaps(params):
+    disk = MultiStateDisk(params)
+    disk.serve(0.0, 0.0)
+    disk.enter_low_power(1.0)
+    disk.serve(3.0, 0.0)
+    # New gap: entering low power again must be legal.
+    disk.enter_low_power(4.0)
+    disk.serve(6.0, 0.0)
+    disk.finalize()
+    assert disk.ledger.total > 0
+
+
+def test_gap_without_low_power_matches_plain_disk(params):
+    plain = SimulatedDisk(params)
+    multi = MultiStateDisk(params)
+    for disk in (plain, multi):
+        disk.serve(0.0, 0.1)
+        disk.schedule_shutdown(2.0)
+        disk.serve(30.0, 0.1)
+        disk.finalize(40.0)
+    assert plain.ledger.approx_equals(multi.ledger)

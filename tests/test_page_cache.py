@@ -1,0 +1,116 @@
+"""PageCache: hits/misses, write-back, flush daemon, dirty eviction."""
+
+import pytest
+
+from repro.cache.page_cache import CacheConfig, PageCache
+from repro.errors import ConfigurationError
+
+
+def make_cache(blocks: int = 4, flush_interval: float = 30.0) -> PageCache:
+    return PageCache(
+        CacheConfig(
+            capacity_bytes=blocks * 4096,
+            block_size=4096,
+            flush_interval=flush_interval,
+        )
+    )
+
+
+def test_first_read_misses_second_hits():
+    cache = make_cache()
+    missed, _ = cache.read(0.0, inode=1, blocks=[10])
+    assert missed == [10]
+    missed, _ = cache.read(0.1, inode=1, blocks=[10])
+    assert missed == []
+    assert cache.stats.read_hits == 1
+    assert cache.stats.read_misses == 1
+
+
+def test_capacity_is_block_count():
+    assert make_cache(blocks=4).config.capacity_blocks == 4
+
+
+def test_lru_eviction_on_overflow():
+    cache = make_cache(blocks=2)
+    cache.read(0.0, 1, [1])
+    cache.read(0.1, 1, [2])
+    cache.read(0.2, 1, [3])  # evicts block 1
+    missed, _ = cache.read(0.3, 1, [1])
+    assert missed == [1]
+
+
+def test_write_is_buffered_not_immediate():
+    cache = make_cache()
+    forced = cache.write(0.0, inode=1, blocks=[5], pid=42)
+    assert forced == []
+    assert cache.dirty_block_count == 1
+
+
+def test_flush_daemon_writes_back_on_schedule():
+    cache = make_cache(flush_interval=30.0)
+    cache.write(1.0, inode=1, blocks=[5], pid=42)
+    assert cache.advance(29.9) == []
+    flushed = cache.advance(30.1)
+    assert len(flushed) == 1
+    assert flushed[0].time == pytest.approx(30.0)
+    assert flushed[0].pid == 42
+    assert cache.dirty_block_count == 0
+
+
+def test_multiple_missed_wakeups_coalesce_by_time():
+    cache = make_cache(flush_interval=10.0)
+    cache.write(1.0, 1, [5], pid=1)
+    flushed = cache.advance(35.0)  # wakeups at 10, 20, 30
+    assert len(flushed) == 1  # only dirty at the first wakeup
+    assert flushed[0].time == pytest.approx(10.0)
+
+
+def test_dirty_eviction_forces_writeback():
+    cache = make_cache(blocks=2)
+    cache.write(0.0, 1, [1], pid=7)
+    cache.read(0.1, 1, [2])
+    _, forced = cache.read(0.2, 1, [3])  # evicts dirty block 1
+    assert len(forced) == 1
+    assert forced[0].block == 1
+    assert forced[0].pid == 7
+
+
+def test_flush_now_clears_all_dirty():
+    cache = make_cache()
+    cache.write(0.0, 1, [1, 2], pid=3)
+    flushed = cache.flush_now(5.0)
+    assert {w.block for w in flushed} == {1, 2}
+    assert cache.dirty_block_count == 0
+    assert cache.flush_now(6.0) == []
+
+
+def test_rewriting_dirty_block_keeps_original_dirty_time():
+    cache = make_cache(flush_interval=30.0)
+    cache.write(1.0, 1, [5], pid=1)
+    cache.write(25.0, 1, [5], pid=2)
+    flushed = cache.advance(31.0)
+    assert len(flushed) == 1
+    assert flushed[0].pid == 1  # first dirtier owns the write-back
+
+
+def test_read_hit_ratio():
+    cache = make_cache()
+    cache.read(0.0, 1, [1])
+    cache.read(0.1, 1, [1])
+    cache.read(0.2, 1, [1])
+    assert cache.stats.read_hit_ratio == pytest.approx(2 / 3)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(capacity_bytes=100, block_size=4096)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(flush_interval=0.0)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(block_size=0)
+
+
+def test_resident_block_count():
+    cache = make_cache(blocks=4)
+    cache.read(0.0, 1, [1, 2, 3])
+    assert cache.resident_block_count == 3

@@ -1,0 +1,201 @@
+"""PCAPPredictor unit tests, including the paper's Figure 3 walk-through."""
+
+import pytest
+
+from repro.core.confidence import ConfidenceEstimator
+from repro.core.pcap import PCAPPredictor
+from repro.core.table import PredictionTable
+from repro.errors import ConfigurationError
+from repro.predictors.base import (
+    IdleClass,
+    IdleFeedback,
+    PredictorSource,
+)
+from tests.helpers import access
+
+PC1, PC2 = 0x1000, 0x2000
+
+
+def make_pcap(table=None, **kwargs) -> PCAPPredictor:
+    # Note: an empty PredictionTable is falsy (len 0), so test `is None`.
+    if table is None:
+        table = PredictionTable()
+    return PCAPPredictor(table, **kwargs)
+
+
+def feed_burst(predictor, pcs, start=0.0, spacing=0.1, fd=3):
+    """Feed a burst of accesses; returns the last intent."""
+    intent = None
+    for i, pc in enumerate(pcs):
+        intent = predictor.on_access(access(start + i * spacing, pc=pc, fd=fd))
+    return intent
+
+
+def long_idle(predictor, start, end):
+    predictor.on_idle_end(
+        IdleFeedback(start=start, end=end, idle_class=IdleClass.LONG)
+    )
+
+
+def short_idle(predictor, start, end):
+    predictor.on_idle_end(
+        IdleFeedback(start=start, end=end, idle_class=IdleClass.SHORT)
+    )
+
+
+def test_figure3_walkthrough():
+    """The paper's running example: {PC1, PC2, PC1} learned after the
+    first long idle period, predicted on the second occurrence."""
+    table = PredictionTable()
+    pcap = make_pcap(table)
+    pcap.begin_execution(0.0)
+
+    # First sequence: unknown signature, backup timeout covers.
+    intent = feed_burst(pcap, [PC1, PC2, PC1], start=0.1)
+    assert intent.source == PredictorSource.BACKUP
+    long_idle(pcap, 0.4, 20.0)
+    assert PC1 + PC2 + PC1 in table
+
+    # Second sequence: signature matches, shutdown after the wait-window.
+    intent = feed_burst(pcap, [PC1, PC2, PC1], start=20.1)
+    assert intent.source == PredictorSource.PRIMARY
+    assert intent.delay == pytest.approx(pcap.wait_window)
+    long_idle(pcap, 20.4, 40.0)
+
+
+def test_figure3_subpath_aliasing_cancelled_by_wait_window():
+    """Third sequence of Figure 3: {PC1,PC2,PC1} immediately followed by
+    PC2 — the wait-window must cancel the matched prediction (the gap is
+    sub-window), and the path continues accumulating."""
+    table = PredictionTable()
+    pcap = make_pcap(table)
+    pcap.begin_execution(0.0)
+    feed_burst(pcap, [PC1, PC2, PC1], start=0.1)
+    long_idle(pcap, 0.4, 20.0)
+
+    intent = feed_burst(pcap, [PC1, PC2, PC1], start=20.1)
+    assert intent.predicts_shutdown
+    # PC2 arrives 0.1 s later (inside the window): engine never fires;
+    # predictor sees a sub-window feedback and keeps the path open.
+    pcap.on_idle_end(
+        IdleFeedback(start=20.4, end=20.5, idle_class=IdleClass.SUB_WINDOW)
+    )
+    intent = pcap.on_access(access(20.5, pc=PC2))
+    # Path is now PC1+PC2+PC1+PC2 — untrained, so backup.
+    assert intent.source == PredictorSource.BACKUP
+    long_idle(pcap, 20.6, 60.0)
+    assert PC1 + PC2 + PC1 + PC2 in table
+
+
+def test_signature_restarts_after_long_idle():
+    table = PredictionTable()
+    pcap = make_pcap(table)
+    pcap.begin_execution(0.0)
+    feed_burst(pcap, [PC1], start=0.0)
+    long_idle(pcap, 0.1, 10.0)
+    feed_burst(pcap, [PC2], start=10.0)
+    long_idle(pcap, 10.1, 20.0)
+    # Second path trained PC2 alone, not PC1+PC2.
+    assert PC2 in table
+    assert (PC1 + PC2) not in table
+
+
+def test_short_idle_does_not_restart_or_train():
+    table = PredictionTable()
+    pcap = make_pcap(table)
+    pcap.begin_execution(0.0)
+    feed_burst(pcap, [PC1], start=0.0)
+    short_idle(pcap, 0.1, 3.0)
+    feed_burst(pcap, [PC2], start=3.0)
+    long_idle(pcap, 3.1, 30.0)
+    assert (PC1 + PC2) in table
+    assert PC1 not in table
+
+
+def test_no_backup_returns_never():
+    pcap = make_pcap(backup_timeout=None)
+    pcap.begin_execution(0.0)
+    intent = feed_burst(pcap, [PC1])
+    assert not intent.predicts_shutdown
+
+
+def test_begin_execution_resets_runtime_state_but_not_table():
+    table = PredictionTable()
+    pcap = make_pcap(table)
+    pcap.begin_execution(0.0)
+    feed_burst(pcap, [PC1, PC2])
+    long_idle(pcap, 0.2, 10.0)
+    pcap.begin_execution(0.0)
+    # Table persists: the same path matches in the new execution.
+    intent = feed_burst(pcap, [PC1, PC2])
+    assert intent.source == PredictorSource.PRIMARY
+
+
+def test_history_variant_distinguishes_contexts():
+    table = PredictionTable()
+    pcap = make_pcap(table, history_length=4)
+    pcap.begin_execution(0.0)
+    # Train PC1 with history (LONG,) i.e. after one long idle.
+    feed_burst(pcap, [PC1], start=0.0)
+    long_idle(pcap, 0.1, 10.0)  # history becomes (1,)
+    feed_burst(pcap, [PC1], start=10.0)
+    long_idle(pcap, 10.1, 20.0)  # trains (PC1, hist=(1,))
+    # Same signature with a different history must not match.
+    short_idle(pcap, 20.1, 24.0)  # history now (1, 1, 0)
+    intent = feed_burst(pcap, [PC1], start=24.0)
+    assert intent.source == PredictorSource.BACKUP
+
+
+def test_fd_variant_distinguishes_descriptors():
+    table = PredictionTable()
+    pcap = make_pcap(table, use_file_descriptor=True)
+    pcap.begin_execution(0.0)
+    feed_burst(pcap, [PC1], fd=5)
+    long_idle(pcap, 0.1, 10.0)
+    matched = feed_burst(pcap, [PC1], start=10.0, fd=5)
+    assert matched.source == PredictorSource.PRIMARY
+    long_idle(pcap, 10.1, 20.0)
+    other_fd = feed_burst(pcap, [PC1], start=20.0, fd=9)
+    assert other_fd.source == PredictorSource.BACKUP
+
+
+def test_confidence_gates_repeat_mispredictors():
+    table = PredictionTable()
+    confidence = ConfidenceEstimator(initial=2, threshold=2)
+    pcap = make_pcap(table, confidence=confidence)
+    pcap.begin_execution(0.0)
+    feed_burst(pcap, [PC1])
+    long_idle(pcap, 0.1, 10.0)  # trains PC1, counter -> 3
+    # Two consecutive mispredictions (matched, then short idle).
+    for start in (10.0, 14.0):
+        intent = feed_burst(pcap, [PC1], start=start)
+        if intent.source == PredictorSource.PRIMARY:
+            short_idle(pcap, start + 0.1, start + 3.0)
+    # After repeated wrong outcomes the key is gated.
+    feed_burst(pcap, [PC1], start=30.0)
+    short_idle(pcap, 30.1, 33.0)
+    intent = feed_burst(pcap, [PC1], start=40.0)
+    assert intent.source == PredictorSource.BACKUP
+
+
+def test_name_reflects_features():
+    assert make_pcap().name == "PCAP"
+    assert make_pcap(history_length=6).name == "PCAPh"
+    assert make_pcap(use_file_descriptor=True).name == "PCAPf"
+    assert make_pcap(
+        history_length=6, use_file_descriptor=True
+    ).name == "PCAPfh"
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        make_pcap(wait_window=-1.0)
+    with pytest.raises(ConfigurationError):
+        make_pcap(backup_timeout=0.0)
+
+
+def test_initial_intent_is_backup():
+    pcap = make_pcap()
+    intent = pcap.initial_intent(0.0)
+    assert intent.source == PredictorSource.BACKUP
+    assert intent.delay == pytest.approx(10.0)

@@ -1,0 +1,89 @@
+"""Prediction-table save/load (§4.2's initialization-file reuse)."""
+
+import pytest
+
+from repro.core.persistence import (
+    dump_table,
+    load_table,
+    load_table_file,
+    save_table_file,
+)
+from repro.core.table import PredictionTable
+from repro.errors import PersistenceError
+
+
+def _table_with(*keys):
+    table = PredictionTable()
+    for key in keys:
+        table.train(key)
+    return table
+
+
+def test_round_trip_int_keys():
+    table = _table_with(1, 2, 0xFFFFFFFF)
+    restored, application = load_table(dump_table(table, "mozilla"))
+    assert application == "mozilla"
+    assert set(restored.keys()) == {1, 2, 0xFFFFFFFF}
+
+
+def test_round_trip_tuple_keys():
+    table = _table_with((1, 2), (3, (4, 5)))
+    restored, _ = load_table(dump_table(table, "app"))
+    assert set(restored.keys()) == {(1, 2), (3, (4, 5))}
+
+
+def test_round_trip_preserves_lru_order():
+    table = _table_with(1, 2, 3)
+    table.lookup(1)
+    restored, _ = load_table(dump_table(table, "app"))
+    assert restored.keys() == table.keys()
+
+
+def test_round_trip_preserves_capacity():
+    table = PredictionTable(capacity=10)
+    table.train(1)
+    restored, _ = load_table(dump_table(table, "app"))
+    assert restored.capacity == 10
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "mozilla.pcap"
+    table = _table_with(7, (8, 9))
+    save_table_file(table, "mozilla", path)
+    restored, application = load_table_file(path)
+    assert application == "mozilla"
+    assert set(restored.keys()) == {7, (8, 9)}
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(PersistenceError):
+        load_table_file(tmp_path / "nope.pcap")
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(PersistenceError):
+        load_table("{broken")
+
+
+def test_wrong_format_version_rejected():
+    with pytest.raises(PersistenceError):
+        load_table('{"format": 99, "application": "x", "entries": []}')
+
+
+def test_missing_fields_rejected():
+    with pytest.raises(PersistenceError):
+        load_table('{"format": 1}')
+
+
+def test_malformed_entry_rejected():
+    with pytest.raises(PersistenceError):
+        load_table(
+            '{"format": 1, "application": "x", "entries": ["string"]}'
+        )
+
+
+def test_non_int_key_rejected_on_dump():
+    table = PredictionTable()
+    table.train("not-an-int")
+    with pytest.raises(PersistenceError):
+        dump_table(table, "x")

@@ -1,0 +1,85 @@
+"""Disk power parameters and the derived breakeven time (paper Table 2)."""
+
+import pytest
+
+from repro.disk.power_model import DiskPowerParameters, fujitsu_mhf2043at
+from repro.errors import ConfigurationError
+
+
+def test_defaults_match_paper_table2():
+    params = fujitsu_mhf2043at()
+    assert params.busy_power == 2.2
+    assert params.idle_power == 0.95
+    assert params.standby_power == 0.13
+    assert params.spinup_energy == 4.4
+    assert params.shutdown_energy == 0.36
+    assert params.spinup_time == 1.6
+    assert params.shutdown_time == 0.67
+
+
+def test_breakeven_matches_paper_value():
+    """The paper quotes 5.43 s for the Fujitsu MHF 2043 AT."""
+    assert fujitsu_mhf2043at().breakeven_time() == pytest.approx(5.43, abs=0.03)
+
+
+def test_breakeven_is_exact_indifference_point():
+    params = fujitsu_mhf2043at()
+    be = params.breakeven_time()
+    idle = params.energy_idling(be)
+    shutdown = params.energy_shutdown_window(be)
+    assert idle == pytest.approx(shutdown, rel=1e-9)
+
+
+def test_shutdown_saves_energy_exactly_beyond_breakeven():
+    params = fujitsu_mhf2043at()
+    be = params.breakeven_time()
+    assert not params.shutdown_saves_energy(be - 0.01)
+    assert params.shutdown_saves_energy(be + 0.01)
+
+
+def test_short_window_still_pays_full_cycle_energy():
+    params = fujitsu_mhf2043at()
+    assert params.energy_shutdown_window(0.1) == pytest.approx(
+        params.cycle_energy
+    )
+
+
+def test_standby_residence_beyond_transitions():
+    params = fujitsu_mhf2043at()
+    window = params.transition_time + 10.0
+    expected = params.cycle_energy + params.standby_power * 10.0
+    assert params.energy_shutdown_window(window) == pytest.approx(expected)
+
+
+def test_breakeven_never_below_transition_time():
+    params = DiskPowerParameters(
+        spinup_energy=0.0, shutdown_energy=0.0
+    )
+    assert params.breakeven_time() >= params.transition_time
+
+
+def test_power_ordering_enforced():
+    with pytest.raises(ConfigurationError):
+        DiskPowerParameters(idle_power=0.1, standby_power=0.2,
+                            low_power_idle_power=0.15)
+
+
+def test_negative_energy_rejected():
+    with pytest.raises(ConfigurationError):
+        DiskPowerParameters(spinup_energy=-1.0)
+
+
+def test_equal_idle_and_standby_power_rejected_for_breakeven():
+    params = DiskPowerParameters(
+        standby_power=0.95, low_power_idle_power=0.95, idle_power=0.95
+    )
+    with pytest.raises(ConfigurationError):
+        params.breakeven_time()
+
+
+def test_negative_durations_rejected():
+    params = fujitsu_mhf2043at()
+    with pytest.raises(ValueError):
+        params.energy_idling(-1.0)
+    with pytest.raises(ValueError):
+        params.energy_shutdown_window(-0.5)

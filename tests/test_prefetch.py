@@ -1,0 +1,113 @@
+"""PC-based stride prefetching extension."""
+
+import pytest
+
+from repro.cache.page_cache import CacheConfig
+from repro.cache.prefetch import PCStridePredictor, PrefetchingPageCache
+from repro.errors import ConfigurationError
+
+PC = 0x1234
+
+
+def make_cache(blocks: int = 64, depth: int = 4) -> PrefetchingPageCache:
+    return PrefetchingPageCache(
+        CacheConfig(capacity_bytes=blocks * 4096, block_size=4096),
+        depth=depth,
+    )
+
+
+# ---------------------------------------------------------------- predictor
+def test_predictor_needs_confidence():
+    predictor = PCStridePredictor()
+    predictor.observe(PC, 0)
+    predictor.observe(PC, 16)
+    assert predictor.predict(PC, 16, 2) == []  # stride seen once
+    predictor.observe(PC, 32)
+    predictor.observe(PC, 48)
+    assert predictor.predict(PC, 48, 2) == [64, 80]
+
+
+def test_predictor_loses_confidence_on_irregular_access():
+    predictor = PCStridePredictor()
+    for block in (0, 16, 32, 48):
+        predictor.observe(PC, block)
+    for block in (7, 300, 5):
+        predictor.observe(PC, block)
+    assert predictor.predict(PC, 5, 2) == []
+
+
+def test_predictor_zero_stride_never_predicts():
+    predictor = PCStridePredictor()
+    for _ in range(5):
+        predictor.observe(PC, 42)
+    assert predictor.predict(PC, 42, 3) == []
+
+
+def test_predictor_per_pc_isolation():
+    predictor = PCStridePredictor()
+    for block in (0, 16, 32, 48):
+        predictor.observe(PC, block)
+    assert predictor.predict(0x9999, 48, 2) == []
+
+
+def test_predictor_validation():
+    with pytest.raises(ConfigurationError):
+        PCStridePredictor(confidence_threshold=0)
+
+
+# -------------------------------------------------------------------- cache
+def test_sequential_stream_misses_once_per_depth_window():
+    cache = make_cache(depth=4)
+    misses = 0
+    for i in range(32):
+        missed, _ = cache.read(0.1 * i, 1, [i * 16], pc=PC)
+        misses += len(missed)
+    # After the training misses, prefetch covers most demand reads.
+    assert misses < 16
+    assert cache.prefetch_hits > 0
+    assert cache.prefetch_accuracy > 0.5
+
+
+def test_random_access_never_prefetches():
+    cache = make_cache()
+    import random
+
+    rng = random.Random(7)
+    for i in range(32):
+        cache.read(0.1 * i, 1, [rng.randrange(10**6)], pc=PC)
+    assert cache.prefetched_blocks == 0
+
+
+def test_prefetch_respects_capacity():
+    cache = make_cache(blocks=8, depth=4)
+    for i in range(64):
+        cache.read(0.1 * i, 1, [i * 16], pc=PC)
+        assert cache.resident_block_count <= 8
+
+
+def test_prefetch_evicting_dirty_block_forces_writeback():
+    cache = make_cache(blocks=4, depth=3)
+    cache.write(0.0, 1, [999_999], pid=5, pc=0x77)
+    forced_all = []
+    for i in range(8):
+        _, forced = cache.read(1.0 + 0.1 * i, 1, [i * 16], pc=PC)
+        forced_all.extend(forced)
+    assert any(w.block == 999_999 for w in forced_all)
+
+
+def test_depth_validation():
+    with pytest.raises(ConfigurationError):
+        make_cache(depth=0)
+
+
+def test_prefetch_in_filter_pipeline(config):
+    """Prefetching reduces the disk accesses of a streaming workload."""
+    from repro.cache import filter_execution
+    from repro.workloads import build_application
+
+    execution = build_application("mplayer", scale=0.15).executions[0]
+    plain = filter_execution(execution, config.cache)
+    prefetching = filter_execution(
+        execution, cache=PrefetchingPageCache(config.cache, depth=4)
+    )
+    assert len(prefetching.accesses) < len(plain.accesses)

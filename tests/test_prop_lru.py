@@ -1,0 +1,69 @@
+"""Property tests: LRU mapping invariants against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUMapping
+
+keys = st.integers(min_value=0, max_value=20)
+operations = st.lists(
+    st.tuples(st.sampled_from(["put", "get", "pop", "peek"]), keys),
+    max_size=200,
+)
+
+
+class ModelLRU:
+    """Straightforward reference implementation."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data = OrderedDict()
+
+    def put(self, key):
+        if key in self.data:
+            self.data.move_to_end(key)
+            return None
+        self.data[key] = key
+        if len(self.data) > self.capacity:
+            return self.data.popitem(last=False)
+        return None
+
+    def get(self, key):
+        if key not in self.data:
+            return None
+        self.data.move_to_end(key)
+        return self.data[key]
+
+    def pop(self, key):
+        return self.data.pop(key, None)
+
+    def peek(self, key):
+        return self.data.get(key)
+
+
+@given(operations, st.integers(min_value=1, max_value=8))
+def test_lru_matches_reference_model(ops, capacity):
+    real = LRUMapping(capacity=capacity)
+    model = ModelLRU(capacity)
+    for op, key in ops:
+        if op == "put":
+            assert real.put(key, key) == model.put(key)
+        elif op == "get":
+            assert real.get(key) == model.get(key)
+        elif op == "pop":
+            assert real.pop(key) == model.pop(key)
+        else:
+            assert real.peek(key) == model.peek(key)
+        assert len(real) == len(model.data)
+        assert list(real) == list(model.data)
+
+
+@given(operations, st.integers(min_value=1, max_value=8))
+def test_lru_never_exceeds_capacity(ops, capacity):
+    lru = LRUMapping(capacity=capacity)
+    for op, key in ops:
+        if op == "put":
+            lru.put(key, key)
+        assert len(lru) <= capacity

@@ -1,0 +1,107 @@
+"""Property tests: predictor protocol and engine invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.predictors.registry import make_spec
+from repro.sim.engine import evaluate_local_stream
+from tests.helpers import access
+
+CONFIG = SimulationConfig()
+
+# Ascending access times with varied spacing (sub-window to long).
+gap_lists = st.lists(
+    st.floats(min_value=0.01, max_value=60.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=30,
+)
+
+pc_lists = st.lists(
+    st.sampled_from([0x10, 0x20, 0x30, 0x40]), min_size=1, max_size=30
+)
+
+local_predictors = st.sampled_from(
+    ["TP", "LT", "PCAP", "PCAPh", "PCAPf", "PCAPfh", "EXP", "AT", "PCAPc"]
+)
+
+
+def build_stream(gaps, pcs):
+    t = 0.0
+    stream = []
+    for i, gap in enumerate(gaps):
+        t += gap
+        stream.append(access(t, pc=pcs[i % len(pcs)]))
+    return stream, t + 30.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(gap_lists, pc_lists, local_predictors)
+def test_stats_are_internally_consistent(gaps, pcs, name):
+    stream, end = build_stream(gaps, pcs)
+    spec = make_spec(name, CONFIG)
+    stats = evaluate_local_stream(
+        stream, spec.local_factory(1), CONFIG, start_time=0.0, end_time=end
+    )
+    assert stats.hits + stats.misses == stats.shutdowns
+    assert 0 <= stats.opportunities <= stats.gaps
+    assert stats.not_predicted >= 0
+    assert (
+        stats.hits + stats.unsaved_in_opportunity + stats.not_predicted
+        == stats.opportunities
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(gap_lists, pc_lists, local_predictors)
+def test_hits_never_exceed_opportunities(gaps, pcs, name):
+    stream, end = build_stream(gaps, pcs)
+    spec = make_spec(name, CONFIG)
+    stats = evaluate_local_stream(
+        stream, spec.local_factory(1), CONFIG, start_time=0.0, end_time=end
+    )
+    assert stats.hits <= stats.opportunities
+
+
+@settings(max_examples=40, deadline=None)
+@given(gap_lists, pc_lists)
+def test_pcap_table_only_grows_signatures_seen_before_long_gaps(gaps, pcs):
+    stream, end = build_stream(gaps, pcs)
+    spec = make_spec("PCAP", CONFIG)
+    evaluate_local_stream(
+        stream, spec.local_factory(1), CONFIG, start_time=0.0, end_time=end
+    )
+    long_gap_count = sum(1 for g in gaps if g > CONFIG.breakeven) + 1
+    assert spec.table_size <= long_gap_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(gap_lists, pc_lists)
+def test_identical_streams_give_identical_stats(gaps, pcs):
+    stream, end = build_stream(gaps, pcs)
+    results = []
+    for _ in range(2):
+        spec = make_spec("PCAPfh", CONFIG)
+        stats = evaluate_local_stream(
+            stream, spec.local_factory(1), CONFIG,
+            start_time=0.0, end_time=end,
+        )
+        results.append(
+            (stats.hits_primary, stats.hits_backup, stats.misses,
+             stats.opportunities)
+        )
+    assert results[0] == results[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(gap_lists, pc_lists)
+def test_tp_never_fires_below_its_timeout(gaps, pcs):
+    stream, end = build_stream(gaps, pcs)
+    spec = make_spec("TP", CONFIG)
+    stats = evaluate_local_stream(
+        stream, spec.local_factory(1), CONFIG, start_time=0.0, end_time=end
+    )
+    fireable = sum(1 for g in gaps if g > CONFIG.timeout) + 1  # + trailing
+    assert stats.shutdowns <= fireable

@@ -1,0 +1,60 @@
+"""Property tests: path-signature algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signature import (
+    SIGNATURE_MASK,
+    PathSignature,
+    fold_pc,
+    signature_of_path,
+)
+
+pcs = st.integers(min_value=0, max_value=SIGNATURE_MASK)
+paths = st.lists(pcs, max_size=50)
+
+
+@given(paths)
+def test_signature_always_32_bit(path):
+    assert 0 <= signature_of_path(path) <= SIGNATURE_MASK
+
+
+@given(paths)
+def test_signature_is_order_insensitive(path):
+    """Additive encoding: any permutation aliases (the paper's noted
+    property of the cheap encoding)."""
+    assert signature_of_path(path) == signature_of_path(
+        list(reversed(path))
+    )
+
+
+@given(paths, paths)
+def test_signature_is_additive_over_concatenation(a, b):
+    combined = signature_of_path(a + b)
+    assert combined == fold_pc(
+        signature_of_path(a), signature_of_path(b)
+    )
+
+
+@given(paths)
+def test_signature_matches_modular_sum(path):
+    assert signature_of_path(path) == sum(path) & SIGNATURE_MASK
+
+
+@given(paths.filter(lambda p: len(p) >= 1))
+def test_register_equals_functional_encoding(path):
+    register = PathSignature()
+    for pc in path:
+        register.observe(pc)
+    assert register.value == signature_of_path(path)
+
+
+@given(paths.filter(lambda p: len(p) >= 1), paths.filter(lambda p: len(p) >= 1))
+def test_restart_forgets_previous_path(before, after):
+    register = PathSignature()
+    for pc in before:
+        register.observe(pc)
+    register.restart()
+    for pc in after:
+        register.observe(pc)
+    assert register.value == signature_of_path(after)

@@ -1,0 +1,67 @@
+"""Property tests: the strace importer never crashes on messy input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.traces.strace_import import parse_strace
+
+# Fragments that compose into plausible-to-garbled strace lines.
+garbage_lines = st.lists(
+    st.one_of(
+        st.text(max_size=60),
+        st.from_regex(
+            r"\d{1,5} \d{1,6}\.\d{1,6} \[[0-9a-f]{4,16}\] "
+            r"(read|write|openat|close|mmap|futex)\(\d{0,3}.{0,20}\) = -?\d{1,6}",
+            fullmatch=True,
+        ),
+        st.from_regex(
+            r"\d{1,5} \d{1,6}\.\d{1,6} \+\+\+ exited with \d+ \+\+\+",
+            fullmatch=True,
+        ),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(garbage_lines)
+def test_importer_never_crashes(lines):
+    """Garbage in → either a valid trace or TraceFormatError, never an
+    unhandled exception."""
+    text = "\n".join(lines)
+    try:
+        execution, stats = parse_strace(text)
+    except TraceFormatError:
+        return
+    execution.validate()
+    assert stats.io_events >= 0
+    assert stats.io_events == len(execution.io_events)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+            st.integers(min_value=0, max_value=2**48),
+            st.integers(min_value=0, max_value=64),
+            st.integers(min_value=0, max_value=65536),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_wellformed_reads_always_import(calls):
+    """Every syntactically valid read line becomes exactly one event
+    with monotone, rebased timestamps."""
+    t = 0.0
+    lines = []
+    for dt, pc, fd, nbytes in calls:
+        t += dt
+        lines.append(f"7 {1000 + t:.6f} [{pc:x}] read({fd}, \"\", 4096) = {nbytes}")
+    execution, stats = parse_strace("\n".join(lines))
+    assert stats.io_events == len(calls)
+    times = [e.time for e in execution.io_events]
+    assert times == sorted(times)
+    assert times[0] >= 0.0

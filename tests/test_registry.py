@@ -1,0 +1,94 @@
+"""Predictor registry and spec invariants."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.predictors.registry import (
+    KNOWN_PREDICTORS,
+    PredictorSpec,
+    lt_spec,
+    make_spec,
+    pcap_spec,
+    tp_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig()
+
+
+def test_every_known_predictor_builds(config):
+    for name in KNOWN_PREDICTORS:
+        spec = make_spec(name, config)
+        assert spec.name  # all specs carry a report name
+
+
+def test_unknown_predictor_rejected(config):
+    with pytest.raises(ConfigurationError):
+        make_spec("bogus", config)
+
+
+def test_spec_requires_exactly_one_mechanism():
+    with pytest.raises(ConfigurationError):
+        PredictorSpec(name="broken")
+
+
+def test_omniscient_specs_flagged(config):
+    assert make_spec("Ideal", config).is_omniscient
+    assert make_spec("Base", config).is_omniscient
+    assert not make_spec("PCAP", config).is_omniscient
+
+
+def test_local_specs_produce_independent_predictors(config):
+    spec = make_spec("PCAP", config)
+    a = spec.local_factory(1)
+    b = spec.local_factory(2)
+    assert a is not b
+    assert a.table is b.table  # shared application table
+
+
+def test_specs_are_fresh_per_call(config):
+    first = make_spec("PCAP", config)
+    second = make_spec("PCAP", config)
+    assert first.local_factory(1).table is not second.local_factory(1).table
+
+
+def test_pcap_spec_inherits_config_parameters(config):
+    spec = pcap_spec(config)
+    local = spec.local_factory(1)
+    assert local.wait_window == config.wait_window
+    assert local.backup_timeout == config.timeout
+
+
+def test_lt_spec_names(config):
+    assert lt_spec(config).name == "LT"
+    assert lt_spec(config, reuse_tree=False).name == "LTa"
+
+
+def test_tp_be_uses_breakeven_timer(config):
+    spec = make_spec("TP-BE", config)
+    local = spec.local_factory(1)
+    assert local.timeout == pytest.approx(config.breakeven)
+    assert spec.name == "TP-BE"
+
+
+def test_tp_custom_timeout_named(config):
+    spec = tp_spec(config, timeout=3.0)
+    assert "3.00" in spec.name
+
+
+def test_table_size_exposed_for_trainable_predictors(config):
+    assert make_spec("PCAP", config).table_size == 0
+    assert make_spec("LT", config).table_size == 0
+    assert make_spec("TP", config).table_size is None
+
+
+def test_execution_end_hook_applies_reuse_policy(config):
+    spec = make_spec("PCAPa", config)
+    local = spec.local_factory(1)
+    local.table.train(42)
+    assert spec.table_size == 1
+    spec.on_execution_end()
+    assert spec.table_size == 0

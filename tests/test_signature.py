@@ -1,0 +1,66 @@
+"""Path signatures (§3.2): additive 32-bit encoding and the restart rule."""
+
+from repro.core.signature import (
+    SIGNATURE_MASK,
+    PathSignature,
+    fold_pc,
+    signature_of_path,
+)
+
+
+def test_fold_is_addition_mod_2_32():
+    assert fold_pc(0, 0x10) == 0x10
+    assert fold_pc(SIGNATURE_MASK, 1) == 0
+    assert fold_pc(0xFFFFFFF0, 0x20) == 0x10
+
+
+def test_signature_of_path_matches_paper_example():
+    """Figure 3/4: path {PC1, PC2, PC1} encodes as PC1+PC2+PC1."""
+    pc1, pc2 = 0x1000, 0x2000
+    assert signature_of_path([pc1, pc2, pc1]) == pc1 + pc2 + pc1
+
+
+def test_permutation_aliasing_is_inherent():
+    """The paper notes {PC1,PC2,PC1} and {PC1,PC1,PC2} alias — the cheap
+    encoding is order-insensitive by design."""
+    a = signature_of_path([1, 2, 1])
+    b = signature_of_path([1, 1, 2])
+    assert a == b
+
+
+def test_register_first_observation_overwrites():
+    register = PathSignature()
+    assert register.observe(0x5000) == 0x5000
+
+
+def test_register_accumulates_until_restart():
+    register = PathSignature()
+    register.observe(0x10)
+    register.observe(0x20)
+    assert register.value == 0x30
+    register.restart()
+    assert register.observe(0x40) == 0x40  # overwritten, not added
+
+
+def test_register_path_open_flag():
+    register = PathSignature()
+    assert not register.path_open
+    register.observe(1)
+    assert register.path_open
+    register.restart()
+    assert not register.path_open
+
+
+def test_register_reset_clears_value():
+    register = PathSignature()
+    register.observe(123)
+    register.reset()
+    assert register.value == 0
+    assert not register.path_open
+
+
+def test_register_wraps_at_32_bits():
+    register = PathSignature()
+    register.observe(0xFFFFFFFF)
+    register.observe(0x2)
+    assert register.value == 0x1

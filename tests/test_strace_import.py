@@ -1,0 +1,131 @@
+"""strace importer: parsing real tracer output into executions."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.events import AccessType, ExitEvent, ForkEvent, IOEvent
+from repro.traces.strace_import import parse_strace
+
+SIMPLE = """\
+100 1000000000.000000 [00007f0000001000] openat(AT_FDCWD, "/etc/hosts", O_RDONLY) = 3
+100 1000000000.010000 [00007f0000001010] read(3, "x", 4096) = 4096
+100 1000000000.020000 [00007f0000001010] read(3, "x", 4096) = 4096
+100 1000000000.030000 [00007f0000001020] close(3) = 0
+100 1000000000.100000 +++ exited with 0 +++
+"""
+
+FORKING = """\
+100 1000.000000 [00007f0000002000] clone(child_stack=NULL, flags=SIGCHLD) = 101
+101 1000.100000 [00007f0000002010] write(4, "y", 100) = 100
+101 1000.200000 +++ exited with 0 +++
+100 1000.300000 [00007f0000002020] fsync(4) = 0
+100 1000.400000 +++ exited with 0 +++
+"""
+
+
+def test_simple_trace_parses():
+    execution, stats = parse_strace(SIMPLE, application="hosts")
+    execution.validate()
+    assert stats.io_events == 3  # open + 2 reads (close is bookkeeping)
+    assert stats.exits == 1
+    io = execution.io_events
+    assert io[0].kind == AccessType.OPEN
+    assert io[1].kind == AccessType.READ
+    assert io[1].fd == 3
+
+
+def test_times_rebased_to_zero():
+    execution, _ = parse_strace(SIMPLE)
+    assert execution.events[0].time == pytest.approx(0.0)
+    assert execution.end_time == pytest.approx(0.1)
+
+
+def test_pc_folded_to_32_bits():
+    execution, _ = parse_strace(SIMPLE)
+    for event in execution.io_events:
+        assert 0 < event.pc < 2**32
+
+
+def test_same_call_site_gets_same_pc():
+    execution, _ = parse_strace(SIMPLE)
+    reads = [e for e in execution.io_events if e.kind == AccessType.READ]
+    assert reads[0].pc == reads[1].pc
+
+
+def test_sequential_reads_advance_block_cursor():
+    execution, _ = parse_strace(SIMPLE)
+    reads = [e for e in execution.io_events if e.kind == AccessType.READ]
+    assert reads[0].inode == reads[1].inode
+    assert reads[1].block_start == reads[0].block_start + reads[0].block_count
+
+
+def test_fork_and_child_io():
+    execution, stats = parse_strace(FORKING, application="forky")
+    execution.validate()
+    assert stats.forks == 1
+    forks = [e for e in execution.events if isinstance(e, ForkEvent)]
+    assert forks[0].pid == 101 and forks[0].parent_pid == 100
+    child_io = [e for e in execution.io_events if e.pid == 101]
+    assert len(child_io) == 1
+    assert child_io[0].kind == AccessType.WRITE
+
+
+def test_fsync_becomes_sync_write():
+    execution, _ = parse_strace(FORKING)
+    kinds = [e.kind for e in execution.io_events]
+    assert AccessType.SYNC_WRITE in kinds
+
+
+def test_failed_syscalls_skipped():
+    text = "100 1.0 [1000] read(3, \"\", 64) = -1\n100 2.0 +++ exited with 0 +++"
+    execution, stats = parse_strace(text)
+    assert stats.failed_syscalls == 1
+    assert execution.io_events == []
+
+
+def test_unknown_syscalls_counted_not_fatal():
+    text = (
+        "100 1.000000 [1000] mmap(NULL, 4096) = 0\n"
+        "100 1.100000 [1010] read(3, \"x\", 10) = 10\n"
+        "100 2.000000 +++ exited with 0 +++\n"
+    )
+    execution, stats = parse_strace(text)
+    assert stats.skipped_lines == 1
+    assert stats.io_events == 1
+
+
+def test_missing_exit_synthesized():
+    text = '100 1.000000 [1000] read(3, "x", 10) = 10'
+    execution, stats = parse_strace(text)
+    execution.validate()
+    exits = [e for e in execution.events if isinstance(e, ExitEvent)]
+    assert len(exits) == 1
+    assert stats.exits == 1
+
+
+def test_pidless_single_process_trace():
+    text = (
+        '1.000000 [1000] read(3, "x", 10) = 10\n'
+        "2.000000 +++ exited with 0 +++\n"
+    )
+    execution, _ = parse_strace(text)
+    assert execution.io_events[0].pid == 1
+
+
+def test_empty_input_rejected():
+    with pytest.raises(TraceFormatError):
+        parse_strace("just noise\nnothing matches\n")
+
+
+def test_imported_trace_flows_through_the_pipeline(config):
+    """An imported execution runs end-to-end through cache + engine."""
+    from repro.cache import filter_execution
+    from repro.predictors import make_spec
+    from repro.sim.engine import run_global_execution
+
+    execution, _ = parse_strace(FORKING, application="forky")
+    filtered = filter_execution(execution, config.cache)
+    result = run_global_execution(
+        execution, filtered, make_spec("TP", config), config
+    )
+    assert result.disk_accesses >= 1

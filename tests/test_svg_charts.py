@@ -1,0 +1,92 @@
+"""SVG chart rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figures import AccuracyBar, EnergyBar
+from repro.analysis.svg_charts import render_accuracy_svg, render_energy_svg
+
+
+@pytest.fixture
+def accuracy_figure():
+    def bar(app, pred, hit_p, hit_b, notpred, miss):
+        return AccuracyBar(
+            application=app, predictor=pred, hit=hit_p + hit_b, miss=miss,
+            not_predicted=notpred, hit_primary=hit_p, hit_backup=hit_b,
+            miss_primary=miss, miss_backup=0.0, opportunities=100,
+        )
+
+    return {
+        "mozilla": {
+            "TP": bar("mozilla", "TP", 0.5, 0.0, 0.45, 0.03),
+            "PCAP": bar("mozilla", "PCAP", 0.7, 0.15, 0.1, 0.1),
+        },
+        "nedit": {
+            "TP": bar("nedit", "TP", 0.9, 0.0, 0.1, 0.0),
+            "PCAP": bar("nedit", "PCAP", 1.0, 0.0, 0.0, 0.0),
+        },
+    }
+
+
+@pytest.fixture
+def energy_figure():
+    def bar(app, pred, busy, short, long_, cycle, savings):
+        return EnergyBar(
+            application=app, predictor=pred, busy=busy, idle_short=short,
+            idle_long=long_, power_cycle=cycle, savings=savings,
+        )
+
+    return {
+        "mozilla": {
+            "Base": bar("mozilla", "Base", 0.01, 0.07, 0.92, 0.0, 0.0),
+            "PCAP": bar("mozilla", "PCAP", 0.01, 0.07, 0.17, 0.06, 0.69),
+        },
+    }
+
+
+def test_accuracy_svg_is_wellformed_xml(accuracy_figure):
+    svg = render_accuracy_svg(accuracy_figure, "Figure 7")
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_accuracy_svg_contains_labels_and_bars(accuracy_figure):
+    svg = render_accuracy_svg(accuracy_figure, "Figure 7")
+    assert "Figure 7" in svg
+    assert "mozilla" in svg and "nedit" in svg
+    assert "PCAP" in svg
+    # One rect per non-zero segment at least.
+    assert svg.count("<rect") > 8
+
+
+def test_accuracy_svg_scales_with_content(accuracy_figure):
+    small = render_accuracy_svg(
+        {"mozilla": accuracy_figure["mozilla"]}, "t"
+    )
+    large = render_accuracy_svg(accuracy_figure, "t")
+    width = lambda svg: float(ET.fromstring(svg).get("width"))
+    assert width(large) > width(small)
+
+
+def test_energy_svg_is_wellformed(energy_figure):
+    svg = render_energy_svg(energy_figure)
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    assert "Base" in svg
+
+
+def test_title_is_escaped(accuracy_figure):
+    svg = render_accuracy_svg(accuracy_figure, "a < b & c")
+    ET.fromstring(svg)  # must stay well-formed
+    assert "a &lt; b &amp; c" in svg
+
+
+def test_cli_svg_output(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "fig7.svg"
+    code = main(["figure", "7", "--scale", "0.1", "--svg", str(out)])
+    assert code == 0
+    root = ET.fromstring(out.read_text())
+    assert root.tag.endswith("svg")

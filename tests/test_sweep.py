@@ -1,0 +1,79 @@
+"""Parameter sweep utilities."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.predictors.registry import tp_spec
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.sweep import SweepPoint, render_sweep, sweep
+from repro.traces.trace import ApplicationTrace
+from tests.helpers import single_process_execution
+
+
+@pytest.fixture(scope="module")
+def runner():
+    executions = []
+    for index in range(3):
+        points = []
+        t = 0.0
+        for rep in range(4):
+            points.append((t, 0x1000))
+            t += 40.0
+        executions.append(
+            single_process_execution(
+                points, application="app", execution_index=index, end_time=t
+            )
+        )
+    return ExperimentRunner(
+        {"app": ApplicationTrace("app", executions)}, SimulationConfig()
+    )
+
+
+def test_sweep_over_configs(runner):
+    points = sweep(
+        runner,
+        [1.0, 20.0],
+        make_config=lambda t: SimulationConfig(timeout=t),
+        predictor="TP",
+    )
+    assert len(points) == 2
+    # A 20 s timer saves less than a 1 s timer on 40 s gaps.
+    assert points[0].savings > points[1].savings
+
+
+def test_sweep_over_specs(runner):
+    points = sweep(
+        runner,
+        [2.0, 30.0],
+        make_spec=lambda t, cfg: tp_spec(cfg, timeout=t),
+    )
+    assert points[0].shutdowns >= points[1].shutdowns
+
+
+def test_sweep_rejects_both_factories(runner):
+    with pytest.raises(ValueError):
+        sweep(
+            runner,
+            [1],
+            make_config=lambda v: SimulationConfig(),
+            make_spec=lambda v, c: tp_spec(c),
+        )
+
+
+def test_sweep_point_fields(runner):
+    (point,) = sweep(runner, [5.0],
+                     make_config=lambda t: SimulationConfig(timeout=t),
+                     predictor="TP")
+    assert isinstance(point, SweepPoint)
+    assert 0.0 <= point.hit_fraction <= 1.2
+    assert point.energy > 0
+    assert point.delayed_requests >= point.irritating_delays >= 0
+
+
+def test_render_sweep(runner):
+    points = sweep(runner, [5.0],
+                   make_config=lambda t: SimulationConfig(timeout=t),
+                   predictor="TP")
+    text = render_sweep(points, "TP timeout sweep")
+    assert "TP timeout sweep" in text
+    assert "5.0" in text

@@ -1,0 +1,95 @@
+"""PredictionTable: lookup/train semantics, LRU capacity, stats."""
+
+from repro.core.table import PredictionTable, merge_tables, storage_bytes
+
+
+def test_untrained_lookup_misses():
+    table = PredictionTable()
+    assert not table.lookup(0x1234)
+    assert table.stats.lookups == 1
+    assert table.stats.matches == 0
+
+
+def test_train_then_lookup_hits():
+    table = PredictionTable()
+    assert table.train(0x1234)
+    assert table.lookup(0x1234)
+    assert table.stats.match_ratio == 1.0
+
+
+def test_retrain_is_idempotent():
+    table = PredictionTable()
+    assert table.train(1)
+    assert not table.train(1)
+    assert len(table) == 1
+
+
+def test_capacity_evicts_lru_entry():
+    table = PredictionTable(capacity=2)
+    table.train(1)
+    table.train(2)
+    table.lookup(1)  # refresh 1
+    table.train(3)  # evicts 2
+    assert 1 in table
+    assert 2 not in table
+    assert 3 in table
+    assert table.stats.evictions == 1
+
+
+def test_training_existing_key_refreshes_recency():
+    table = PredictionTable(capacity=2)
+    table.train(1)
+    table.train(2)
+    table.train(1)  # refresh, no insert
+    table.train(3)  # evicts 2
+    assert 1 in table and 2 not in table
+
+
+def test_forget():
+    table = PredictionTable()
+    table.train(5)
+    assert table.forget(5)
+    assert not table.forget(5)
+    assert 5 not in table
+
+
+def test_keys_in_lru_order():
+    table = PredictionTable()
+    table.train(1)
+    table.train(2)
+    table.lookup(1)
+    assert table.keys() == [2, 1]
+
+
+def test_clear_discards_everything():
+    table = PredictionTable()
+    table.train(1)
+    table.clear()
+    assert len(table) == 0
+
+
+def test_tuple_keys_supported():
+    table = PredictionTable()
+    key = (0x1234, 7, 3)
+    table.train(key)
+    assert table.lookup(key)
+    assert not table.lookup((0x1234, 7, 4))
+
+
+def test_storage_bytes_uses_paper_encoding():
+    """Each entry encodes into a 4-byte word (§6.4.2); 139 entries →
+    556 bytes, the paper's mozilla PCAPfh figure."""
+    table = PredictionTable()
+    for i in range(139):
+        table.train(i)
+    assert storage_bytes(table) == 556
+
+
+def test_merge_tables():
+    a = PredictionTable()
+    a.train(1)
+    b = PredictionTable()
+    b.train(2)
+    b.train(1)
+    merged = merge_tables([a, b])
+    assert len(merged) == 2

@@ -1,0 +1,83 @@
+"""PCAP variant configurations and application-level shared state."""
+
+import pytest
+
+from repro.core.variants import (
+    PAPER_HISTORY_LENGTH,
+    PCAPVariant,
+    pcap,
+    pcap_a,
+    pcap_c,
+    pcap_f,
+    pcap_fh,
+    pcap_h,
+)
+from repro.predictors.base import IdleClass, IdleFeedback
+from tests.helpers import access
+
+
+def test_variant_names_follow_paper_convention():
+    assert pcap().name == "PCAP"
+    assert pcap_h().name == "PCAPh"
+    assert pcap_f().name == "PCAPf"
+    assert pcap_fh().name == "PCAPfh"
+    assert pcap_a().name == "PCAPa"
+    assert pcap_c().name == "PCAPc"
+
+
+def test_paper_history_length_is_six():
+    assert PAPER_HISTORY_LENGTH == 6
+    assert pcap_h().history_length == 6
+
+
+def test_processes_share_the_application_table():
+    variant = PCAPVariant(pcap())
+    one = variant.create_local(1)
+    two = variant.create_local(2)
+    assert one.table is two.table is variant.table
+
+
+def test_training_by_one_process_benefits_another():
+    variant = PCAPVariant(pcap())
+    one = variant.create_local(1)
+    two = variant.create_local(2)
+    one.begin_execution(0.0)
+    two.begin_execution(0.0)
+    one.on_access(access(0.1, pc=0x42))
+    one.on_idle_end(IdleFeedback(0.2, 10.0, IdleClass.LONG))
+    intent = two.on_access(access(10.0, pc=0x42))
+    assert intent.delay == pytest.approx(variant.config.wait_window)
+
+
+def test_reuse_variant_keeps_table_across_executions():
+    variant = PCAPVariant(pcap())
+    variant.table.train(123)
+    variant.on_execution_end()
+    assert variant.table_size == 1
+
+
+def test_discard_variant_clears_table_at_exit():
+    variant = PCAPVariant(pcap_a())
+    variant.table.train(123)
+    variant.on_execution_end()
+    assert variant.table_size == 0
+
+
+def test_confidence_variant_wires_estimator():
+    variant = PCAPVariant(pcap_c())
+    assert variant.confidence is not None
+    local = variant.create_local(1)
+    assert local.confidence is variant.confidence
+
+
+def test_confidence_cleared_on_discard_variant():
+    config = pcap_c(reuse_table=False)
+    variant = PCAPVariant(config)
+    variant.confidence.record("k", long_idle=False)
+    variant.on_execution_end()
+    assert variant.confidence.allows("k")
+
+
+def test_capacity_propagates():
+    variant = PCAPVariant(pcap(table_capacity=8))
+    assert variant.table.capacity == 8
