@@ -4,41 +4,39 @@ The paper uses six history bits and reports that longer histories do not
 reduce mispredictions further while extending training.  Sweeps the
 length and shows the miss plateau plus the coverage cost of very long
 histories.
+
+Runs through the parallel sweep layer (one cell per length × app).
 """
 
 from conftest import run_once
 
-from repro.analysis.figures import average_bars, build_fig9
 from repro.core.variants import pcap_h
 from repro.predictors.registry import pcap_spec
+from repro.sim.sweep import sweep
 
 LENGTHS = (1, 2, 4, 6, 8, 10)
 
 
-def test_ablation_history_length(benchmark, ablation_runner):
-    def sweep():
-        results = {}
-        for length in LENGTHS:
-            stats = []
-            for application in ablation_runner.applications:
-                spec = pcap_spec(
-                    ablation_runner.config, pcap_h(history_length=length)
-                )
-                stats.append(
-                    ablation_runner.run_global(application, spec).stats
-                )
-            hit = sum(s.hit_fraction for s in stats) / len(stats)
-            miss = sum(s.miss_fraction for s in stats) / len(stats)
-            results[length] = (hit, miss)
-        return results
+def test_ablation_history_length(benchmark, ablation_runner, jobs):
+    def run():
+        points = sweep(
+            ablation_runner,
+            LENGTHS,
+            make_spec=lambda length, cfg: pcap_spec(
+                cfg, pcap_h(history_length=length)
+            ),
+            jobs=jobs,
+        )
+        return {point.value: point for point in points}
 
-    results = run_once(benchmark, sweep)
+    results = run_once(benchmark, run)
     print()
-    print("Ablation: PCAPh history length (global, scale 0.5)")
-    for length, (hit, miss) in results.items():
-        print(f"  h={length:2d}  hit={hit:6.1%}  miss={miss:6.1%}")
+    print(f"Ablation: PCAPh history length (global, scale 0.5, jobs={jobs})")
+    for length, point in results.items():
+        print(f"  h={length:2d}  hit={point.hit_fraction:6.1%}  "
+              f"miss={point.miss_fraction:6.1%}")
 
     # Paper: history 6 beats no/short history on misses; going past 6
     # does not reduce misses meaningfully further.
-    assert results[6][1] <= results[1][1] + 0.01
-    assert abs(results[10][1] - results[6][1]) < 0.05
+    assert results[6].miss_fraction <= results[1].miss_fraction + 0.01
+    assert abs(results[10].miss_fraction - results[6].miss_fraction) < 0.05

@@ -3,33 +3,35 @@
 The paper: "we have used a history length of eight in LT.  Longer
 history lengths does not improve accuracy.  Shorter history may result
 in more hits, but misprediction may also increase."
+
+Runs through the parallel sweep layer (one cell per depth × app).
 """
 
 from conftest import run_once
 
 from repro.predictors.registry import lt_spec
-from repro.sim.metrics import PredictionStats
+from repro.sim.sweep import sweep
 
 DEPTHS = (1, 2, 4, 8, 12)
 
 
-def test_ablation_lt_depth(benchmark, ablation_runner):
-    def sweep():
-        results = {}
-        for depth in DEPTHS:
-            stats = PredictionStats()
-            for app in ablation_runner.applications:
-                spec = lt_spec(ablation_runner.config, max_depth=depth)
-                stats.merge(ablation_runner.run_global(app, spec).stats)
-            results[depth] = (stats.hit_fraction, stats.miss_fraction)
-        return results
+def test_ablation_lt_depth(benchmark, ablation_runner, jobs):
+    def run():
+        points = sweep(
+            ablation_runner,
+            DEPTHS,
+            make_spec=lambda depth, cfg: lt_spec(cfg, max_depth=depth),
+            jobs=jobs,
+        )
+        return {point.value: point for point in points}
 
-    results = run_once(benchmark, sweep)
+    results = run_once(benchmark, run)
     print()
-    print("Ablation: LT history depth (global, scale 0.5)")
-    for depth, (hit, miss) in results.items():
-        print(f"  depth={depth:2d}  hit={hit:6.1%}  miss={miss:6.1%}")
+    print(f"Ablation: LT history depth (global, scale 0.5, jobs={jobs})")
+    for depth, point in results.items():
+        print(f"  depth={depth:2d}  hit={point.hit_fraction:6.1%}  "
+              f"miss={point.miss_fraction:6.1%}")
 
     # Depth 8 vs 12: no meaningful accuracy change (paper's claim).
-    assert abs(results[12][0] - results[8][0]) < 0.05
-    assert abs(results[12][1] - results[8][1]) < 0.05
+    assert abs(results[12].hit_fraction - results[8].hit_fraction) < 0.05
+    assert abs(results[12].miss_fraction - results[8].miss_fraction) < 0.05

@@ -4,41 +4,42 @@ The paper: "some storage limit can be imposed and an LRU replacement of
 old signatures can be used."  Sweeps a hard capacity: a few dozen
 entries suffice (Table 3 magnitudes); starving the table forces the
 backup to carry the load.
+
+Runs through the parallel sweep layer (one cell per capacity × app).
 """
 
 from conftest import run_once
 
 from repro.core.variants import pcap
 from repro.predictors.registry import pcap_spec
-from repro.sim.metrics import PredictionStats
+from repro.sim.sweep import sweep
 
 CAPACITIES = (4, 16, 64, 256, None)
 
 
-def test_ablation_table_capacity(benchmark, ablation_runner):
-    def sweep():
-        results = {}
-        for capacity in CAPACITIES:
-            stats = PredictionStats()
-            for app in ablation_runner.applications:
-                spec = pcap_spec(
-                    ablation_runner.config, pcap(table_capacity=capacity)
-                )
-                stats.merge(ablation_runner.run_global(app, spec).stats)
-            results[capacity] = (
-                stats.hit_primary_fraction,
-                stats.hit_backup_fraction,
-            )
-        return results
+def test_ablation_table_capacity(benchmark, ablation_runner, jobs):
+    def run():
+        points = sweep(
+            ablation_runner,
+            CAPACITIES,
+            make_spec=lambda cap, cfg: pcap_spec(
+                cfg, pcap(table_capacity=cap)
+            ),
+            jobs=jobs,
+        )
+        return {point.value: point for point in points}
 
-    results = run_once(benchmark, sweep)
+    results = run_once(benchmark, run)
     print()
-    print("Ablation: PCAP table capacity (global, scale 0.5)")
-    for capacity, (primary, backup) in results.items():
+    print(f"Ablation: PCAP table capacity (global, scale 0.5, jobs={jobs})")
+    for capacity, point in results.items():
         label = "inf" if capacity is None else str(capacity)
-        print(f"  capacity={label:>4s} hitP={primary:6.1%} hitB={backup:6.1%}")
+        print(f"  capacity={label:>4s} hitP={point.hit_primary_fraction:6.1%} "
+              f"hitB={point.hit_backup_fraction:6.1%}")
 
     # A starved table pushes hits from the primary onto the backup.
-    assert results[4][0] <= results[None][0] + 0.01
+    assert (results[4].hit_primary_fraction
+            <= results[None].hit_primary_fraction + 0.01)
     # Table-3-sized capacity performs like unbounded.
-    assert abs(results[256][0] - results[None][0]) < 0.03
+    assert abs(results[256].hit_primary_fraction
+               - results[None].hit_primary_fraction) < 0.03

@@ -5,6 +5,9 @@ the prediction table with a particular application."  PCAPp gives each
 process a private table instead; helper processes then retrain what
 their siblings already know, shifting hits from the primary predictor
 to the backup on the multi-process applications.
+
+Each variant's suite run fans out one cell per application through the
+parallel execution layer.
 """
 
 from conftest import run_once
@@ -12,23 +15,23 @@ from conftest import run_once
 MULTIPROCESS = ("mozilla", "writer", "impress")
 
 
-def test_ablation_table_sharing(benchmark, ablation_runner):
-    def sweep():
-        results = {}
-        for app in ablation_runner.applications:
-            shared = ablation_runner.run_global(app, "PCAP")
-            private = ablation_runner.run_global(app, "PCAPp")
-            results[app] = (
-                shared.stats.hit_primary_fraction,
-                private.stats.hit_primary_fraction,
-                shared.table_size or 0,
-                private.table_size or 0,
+def test_ablation_table_sharing(benchmark, ablation_runner, jobs):
+    def run():
+        shared = ablation_runner.run_suite("PCAP", jobs=jobs)
+        private = ablation_runner.run_suite("PCAPp", jobs=jobs)
+        return {
+            app: (
+                shared[app].stats.hit_primary_fraction,
+                private[app].stats.hit_primary_fraction,
+                shared[app].table_size or 0,
+                private[app].table_size or 0,
             )
-        return results
+            for app in ablation_runner.applications
+        }
 
-    results = run_once(benchmark, sweep)
+    results = run_once(benchmark, run)
     print()
-    print("Ablation: table association (global, scale 0.5)")
+    print(f"Ablation: table association (global, scale 0.5, jobs={jobs})")
     print(f"  {'app':9s} {'shared hitP':>11s} {'private hitP':>12s} "
           f"{'shared tbl':>10s} {'private tbl':>11s}")
     for app, (shared, private, st, pt) in results.items():

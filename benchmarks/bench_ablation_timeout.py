@@ -4,49 +4,40 @@ Sweeps TP's timer: "Lower timer values would increase mispredictions
 significantly and much higher timeout would reduce the energy savings
 considerably."  Includes the breakeven timeout (Karlin's 2-competitive
 choice) the paper evaluates in §6.3.
+
+Runs through the parallel sweep layer: one (timeout × application) cell
+per simulation plus one shared ``Base`` baseline per application,
+executed across the ``jobs`` fixture's worker processes.
 """
 
 from conftest import run_once
 
-from repro.analysis.figures import average_savings, build_fig8
-from repro.config import SimulationConfig
 from repro.predictors.registry import tp_spec
-from repro.sim.metrics import PredictionStats
+from repro.sim.sweep import sweep
 
 TIMEOUTS = (2.0, 5.445, 10.0, 20.0, 60.0)
 
 
-def test_ablation_timeout(benchmark, ablation_runner):
-    def sweep():
-        results = {}
-        base_energy = {
-            app: ablation_runner.run_global(app, "Base").energy
-            for app in ablation_runner.applications
-        }
-        for timeout in TIMEOUTS:
-            stats = PredictionStats()
-            savings = []
-            for app in ablation_runner.applications:
-                spec = tp_spec(ablation_runner.config, timeout=timeout)
-                result = ablation_runner.run_global(app, spec)
-                stats.merge(result.stats)
-                savings.append(1.0 - result.energy / base_energy[app])
-            results[timeout] = (
-                sum(savings) / len(savings),
-                stats.miss_fraction,
-                stats.hit_fraction,
-            )
-        return results
+def test_ablation_timeout(benchmark, ablation_runner, jobs):
+    def run():
+        points = sweep(
+            ablation_runner,
+            TIMEOUTS,
+            make_spec=lambda t, cfg: tp_spec(cfg, timeout=t),
+            jobs=jobs,
+        )
+        return {point.value: point for point in points}
 
-    results = run_once(benchmark, sweep)
+    results = run_once(benchmark, run)
     print()
-    print("Ablation: TP timeout (global, scale 0.5)")
-    for timeout, (savings, miss, hit) in results.items():
-        print(f"  timeout={timeout:6.2f}s savings={savings:6.1%} "
-              f"hit={hit:6.1%} miss={miss:6.1%}")
+    print(f"Ablation: TP timeout (global, scale 0.5, jobs={jobs})")
+    for timeout, point in results.items():
+        print(f"  timeout={timeout:6.2f}s savings={point.savings:6.1%} "
+              f"hit={point.hit_fraction:6.1%} "
+              f"miss={point.miss_fraction:6.1%}")
 
     # Aggressive timers mispredict more (§6.3: 12% at breakeven timeout).
-    assert results[2.0][1] >= results[10.0][1]
-    assert results[5.445][1] >= results[10.0][1]
+    assert results[2.0].miss_fraction >= results[10.0].miss_fraction
+    assert results[5.445].miss_fraction >= results[10.0].miss_fraction
     # Long timers burn the savings away.
-    assert results[60.0][0] <= results[10.0][0]
+    assert results[60.0].savings <= results[10.0].savings

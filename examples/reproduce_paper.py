@@ -3,16 +3,18 @@
 Prints Tables 1-3 and the data series of Figures 6-10 next to the
 paper's reported numbers, then runs the qualitative shape checks.
 
-Run:  python examples/reproduce_paper.py [scale]
+Run:  python examples/reproduce_paper.py [scale] [jobs]
 
 scale defaults to 0.5 (a few minutes); use 1.0 for the full Table-1
-magnitudes (as the benchmarks do).
+magnitudes (as the benchmarks do).  jobs defaults to $REPRO_JOBS (or
+serial); pass 0 to use every core — figure matrices then fan out
+across worker processes with results identical to a serial run.
 """
 
 import sys
 import time
 
-from repro import ExperimentRunner, SimulationConfig, build_suite
+from repro import ParallelExperimentRunner, SimulationConfig, build_suite
 from repro.analysis import (
     all_checks,
     build_fig6,
@@ -34,10 +36,15 @@ from repro.analysis import (
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else None
     config = SimulationConfig()
     started = time.time()
     print(f"generating the six-application suite at scale {scale} ...")
-    runner = ExperimentRunner(build_suite(scale=scale), config)
+    runner = ParallelExperimentRunner(
+        build_suite(scale=scale), config, jobs=jobs
+    )
+    if runner.jobs > 1:
+        print(f"running suite-level experiments on {runner.jobs} workers")
 
     print()
     print(render_table1(build_table1(runner)))

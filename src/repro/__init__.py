@@ -52,6 +52,7 @@ from repro.predictors import (
 from repro.sim import (
     ApplicationResult,
     ExperimentRunner,
+    ParallelExperimentRunner,
     PredictionStats,
     SimulationConfig,
     paper_config,
@@ -78,6 +79,7 @@ __all__ = [
     "PCAPPredictor",
     "PCAPVariant",
     "PageCache",
+    "ParallelExperimentRunner",
     "PredictionStats",
     "PredictionTable",
     "PredictorSpec",

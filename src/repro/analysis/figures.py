@@ -144,14 +144,15 @@ def build_fig8(
     applications: Optional[Sequence[str]] = None,
 ) -> EnergyFigure:
     """Figure 8: energy distribution, normalized per-app to Base."""
+    if "Base" not in predictors:
+        raise ValueError("Figure 8 needs the Base system for scaling")
     apps = list(applications) if applications else runner.applications
+    matrix = runner.run_matrix(
+        predictors, mode="global", applications=apps
+    )
     figure: EnergyFigure = {}
     for application in apps:
-        results: dict[str, ApplicationResult] = {
-            name: runner.run_global(application, name) for name in predictors
-        }
-        if "Base" not in results:
-            raise ValueError("Figure 8 needs the Base system for scaling")
+        results: dict[str, ApplicationResult] = matrix[application]
         base_total = results["Base"].ledger.total
         row: dict[str, EnergyBar] = {}
         for name, result in results.items():

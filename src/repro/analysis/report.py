@@ -4,7 +4,7 @@ where available."""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.analysis.figures import (
     AccuracyFigure,

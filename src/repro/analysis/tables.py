@@ -8,7 +8,6 @@ from typing import Optional, Sequence
 from repro.disk.power_model import DiskPowerParameters
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.idle_periods import stream_gaps
-from repro.traces.trace import ApplicationTrace
 
 
 @dataclass(frozen=True, slots=True)

@@ -15,7 +15,7 @@ module reproduces that model at 4 KB block granularity:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.cache.lru import LRUMapping

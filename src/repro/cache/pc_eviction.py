@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from repro.cache.lru import LRUMapping
 from repro.cache.page_cache import (
     CacheConfig,
-    CacheStats,
     CachedBlock,
     PageCache,
     WriteBack,

@@ -46,6 +46,7 @@ from repro.config import SimulationConfig
 from repro.errors import ReproError
 from repro.predictors.registry import KNOWN_PREDICTORS
 from repro.sim.experiment import ExperimentRunner
+from repro.sim.parallel import ParallelExperimentRunner, stderr_progress
 from repro.traces.io_format import (
     read_application_trace,
     write_application_trace,
@@ -60,7 +61,11 @@ def _runner(args, applications: Optional[tuple[str, ...]] = None):
     suite = build_suite(
         scale=args.scale, applications=applications or APPLICATIONS
     )
-    return ExperimentRunner(suite, SimulationConfig())
+    jobs = getattr(args, "jobs", None)
+    runner = ParallelExperimentRunner(suite, SimulationConfig(), jobs=jobs)
+    if runner.jobs > 1 and getattr(args, "progress", False):
+        runner.progress = stderr_progress
+    return runner
 
 
 def _cmd_reproduce(args) -> int:
@@ -239,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_scale(p):
         p.add_argument("--scale", type=float, default=0.5,
                        help="workload scale (1.0 = the paper's Table 1)")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for suite-level runs "
+                            "(default: $REPRO_JOBS or 1; 0 = all cores)")
+        p.add_argument("--progress", action="store_true",
+                       help="report per-cell progress on stderr when "
+                            "running in parallel")
 
     p = sub.add_parser("reproduce", help="all tables, figures, and checks")
     add_scale(p)

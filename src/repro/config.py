@@ -2,11 +2,36 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.cache.page_cache import CacheConfig
 from repro.disk.power_model import DiskPowerParameters, fujitsu_mhf2043at
 from repro.errors import ConfigurationError
+
+#: Environment variable naming the default worker count of the parallel
+#: execution layer (:mod:`repro.sim.parallel`).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Default worker count for parallel experiment execution.
+
+    Read from the ``REPRO_JOBS`` environment variable: a positive
+    integer is used as-is, ``0`` (or any negative value) means "one
+    worker per CPU core", and an unset or unparseable value means serial
+    execution (one worker).
+    """
+    raw = os.environ.get(JOBS_ENV_VAR)
+    if raw is None:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    if value <= 0:
+        return os.cpu_count() or 1
+    return value
 
 
 @dataclass(frozen=True, slots=True)

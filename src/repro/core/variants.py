@@ -18,7 +18,7 @@ instances bound to it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.confidence import ConfidenceEstimator

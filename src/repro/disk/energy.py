@@ -17,7 +17,7 @@ whatever the predictor failed to eliminate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.units import approx_equal, non_negative
 

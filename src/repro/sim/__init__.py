@@ -9,19 +9,35 @@ from repro.sim.engine import (
 from repro.sim.experiment import ApplicationResult, ExperimentRunner
 from repro.sim.idle_periods import count_opportunities, stream_gaps
 from repro.sim.metrics import PredictionStats
+from repro.sim.parallel import (
+    CellProgress,
+    CellResult,
+    ExperimentCell,
+    ParallelExperimentRunner,
+    execute_cells,
+    resolve_jobs,
+    stderr_progress,
+)
 from repro.sim.sweep import SweepPoint, render_sweep, sweep
 
 __all__ = [
     "ApplicationResult",
+    "CellProgress",
+    "CellResult",
     "ExecutionRunResult",
+    "ExperimentCell",
     "ExperimentRunner",
+    "ParallelExperimentRunner",
     "PredictionStats",
     "SweepPoint",
     "SimulationConfig",
     "count_opportunities",
     "evaluate_local_stream",
+    "execute_cells",
     "paper_config",
     "render_sweep",
+    "resolve_jobs",
+    "stderr_progress",
     "sweep",
     "run_global_execution",
     "stream_gaps",

@@ -19,7 +19,7 @@ is energy-principled (see :mod:`repro.sim.metrics`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cache.filter import DiskAccess, FilterResult
@@ -38,7 +38,7 @@ from repro.predictors.base import (
 from repro.predictors.registry import PredictorSpec
 from repro.config import SimulationConfig
 from repro.sim.metrics import PredictionStats
-from repro.traces.events import ExitEvent, ForkEvent, IOEvent
+from repro.traces.events import ExitEvent, ForkEvent
 from repro.traces.trace import ExecutionTrace
 
 _EPS = 1e-9

@@ -188,6 +188,42 @@ class ExperimentRunner:
             table_size=peak_table if spec.table_size is not None else None,
         )
 
+    def run_suite(
+        self,
+        predictor: str | PredictorSpec,
+        *,
+        applications: Optional[Sequence[str]] = None,
+        multistate: bool = False,
+        jobs: Optional[int] = None,
+    ) -> dict[str, ApplicationResult]:
+        """One predictor's global run over many applications.
+
+        ``jobs`` > 1 hands the (application) cells to the parallel
+        execution layer (:mod:`repro.sim.parallel`); the merged mapping
+        is identical to the serial one either way.
+        """
+        apps = list(applications) if applications else self.applications
+        if jobs is not None and jobs != 1:
+            # Imported lazily: repro.sim.parallel imports this module.
+            from repro.sim.parallel import ParallelExperimentRunner
+
+            clone = ParallelExperimentRunner(self.suite, self.config, jobs=jobs)
+            clone._filtered = self._filtered
+            if isinstance(predictor, PredictorSpec):
+                raise SimulationError(
+                    "parallel run_suite needs a predictor name (specs are "
+                    "stateful and cannot be shared across workers)"
+                )
+            return clone.run_suite(
+                predictor, applications=apps, multistate=multistate
+            )
+        return {
+            application: self.run_global(
+                application, predictor, multistate=multistate
+            )
+            for application in apps
+        }
+
     def run_matrix(
         self,
         predictors: Sequence[str],

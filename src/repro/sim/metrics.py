@@ -21,7 +21,7 @@ paper's figures — hit + not-predicted ≤ 100 % with misses stacked on top
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SimulationError

@@ -1,0 +1,297 @@
+"""Parallel experiment execution (cells over a process pool).
+
+Every experiment this repository runs — figure matrices, suite runs,
+parameter sweeps — decomposes into independent *cells*: one
+(application × predictor × configuration) simulation whose result is a
+picklable :class:`~repro.sim.experiment.ApplicationResult`.  This module
+owns that decomposition:
+
+* :class:`ExperimentCell` — a stable-indexed description of one cell;
+* :func:`execute_cells` — run cells serially or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, returning results in
+  cell order so downstream reductions are **bit-identical** regardless of
+  worker count or completion order;
+* :class:`ParallelExperimentRunner` — an
+  :class:`~repro.sim.experiment.ExperimentRunner` whose suite-level
+  entry points (:meth:`run_suite`, :meth:`run_matrix`) fan cells out
+  across ``jobs`` workers;
+* :class:`CellProgress` — a per-cell timing/progress event for observing
+  long sweeps.
+
+Worker strategy: the pool uses the ``fork`` start method and passes only
+the (tiny, picklable) cells through the pipe.  The cell *runner* — a
+closure over the suite, the per-point configurations, and any
+user-supplied spec factories, none of which need to be picklable — is
+installed in a module global before the pool starts and reaches the
+workers by fork inheritance.  The parent pre-warms the memoized
+cache-filtering pass first, so every worker inherits the filtered traces
+copy-on-write instead of redoing the (expensive) filtering per process.
+On platforms without ``fork`` (or with ``jobs=1``) execution falls back
+to a plain in-process loop over the same cells with the same fold order,
+which is what makes the serial/parallel equivalence exact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.config import SimulationConfig, default_jobs
+from repro.sim.experiment import ApplicationResult, ExperimentRunner
+from repro.traces.trace import ApplicationTrace
+
+#: The cell runner the forked workers inherit (see module docstring).
+_WORKER_RUN_CELL: Optional[Callable[["ExperimentCell"], ApplicationResult]] = (
+    None
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentCell:
+    """One independent unit of an experiment matrix.
+
+    ``index`` is the cell's stable position in the decomposition; the
+    reducer folds results in index order, which pins down floating-point
+    summation order and makes parallel runs bit-identical to serial.
+    ``application`` and ``predictor`` are display labels for progress
+    reporting; the orchestrator that built the cell interprets ``index``
+    itself, so cells stay tiny on the wire.
+    """
+
+    index: int
+    application: str
+    predictor: str
+
+
+@dataclass(frozen=True, slots=True)
+class CellResult:
+    """One finished cell: its description, result, and wall time."""
+
+    cell: ExperimentCell
+    result: ApplicationResult
+    wall_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class CellProgress:
+    """Progress event fired once per completed cell."""
+
+    cell: ExperimentCell
+    wall_time: float
+    completed: int
+    total: int
+
+
+#: Signature of a progress hook.
+ProgressHook = Callable[[CellProgress], None]
+
+
+def stderr_progress(event: CellProgress) -> None:
+    """A ready-made progress hook: one line per cell on stderr."""
+    print(
+        f"  [{event.completed}/{event.total}] "
+        f"{event.cell.application} × {event.cell.predictor} "
+        f"({event.wall_time:.2f} s)",
+        file=sys.stderr,
+    )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` defers to :func:`repro.config.default_jobs` (the
+    ``REPRO_JOBS`` environment variable, serial when unset); ``0`` or a
+    negative count means "all cores".
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_invoke(cell: ExperimentCell) -> tuple[ApplicationResult, float]:
+    """Run one cell inside a pool worker (timed)."""
+    assert _WORKER_RUN_CELL is not None, "worker forked without a cell runner"
+    start = time.perf_counter()
+    result = _WORKER_RUN_CELL(cell)
+    return result, time.perf_counter() - start
+
+
+def _execute_serial(
+    cells: Sequence[ExperimentCell],
+    run_cell: Callable[[ExperimentCell], ApplicationResult],
+    progress: Optional[ProgressHook],
+) -> list[CellResult]:
+    out: list[CellResult] = []
+    for completed, cell in enumerate(cells, start=1):
+        start = time.perf_counter()
+        result = run_cell(cell)
+        wall = time.perf_counter() - start
+        out.append(CellResult(cell=cell, result=result, wall_time=wall))
+        if progress is not None:
+            progress(CellProgress(cell, wall, completed, len(cells)))
+    return out
+
+
+def execute_cells(
+    cells: Iterable[ExperimentCell],
+    run_cell: Callable[[ExperimentCell], ApplicationResult],
+    *,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+) -> list[CellResult]:
+    """Execute every cell and return results **in cell order**.
+
+    With ``jobs`` > 1 (and ``fork`` available) the cells run on a
+    process pool; otherwise in-process, in order.  Either way the
+    returned list is ordered like ``cells``, so any fold over it is
+    deterministic — parallel output is bit-identical to serial.
+    """
+    cell_list = list(cells)
+    if not cell_list:
+        return []
+    workers = min(resolve_jobs(jobs), len(cell_list))
+    if workers <= 1 or not fork_available():
+        return _execute_serial(cell_list, run_cell, progress)
+
+    global _WORKER_RUN_CELL
+    _WORKER_RUN_CELL = run_cell
+    out: list[Optional[CellResult]] = [None] * len(cell_list)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_worker_invoke, cell): position
+                for position, cell in enumerate(cell_list)
+            }
+            completed = 0
+            for future in as_completed(futures):
+                position = futures[future]
+                result, wall = future.result()
+                cell = cell_list[position]
+                out[position] = CellResult(
+                    cell=cell, result=result, wall_time=wall
+                )
+                completed += 1
+                if progress is not None:
+                    progress(
+                        CellProgress(cell, wall, completed, len(cell_list))
+                    )
+    finally:
+        _WORKER_RUN_CELL = None
+    assert all(item is not None for item in out)
+    return out  # type: ignore[return-value]
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that fans suite-level runs out
+    across ``jobs`` worker processes.
+
+    Single-cell calls (:meth:`run_global`, :meth:`run_local`) stay
+    in-process; :meth:`run_suite` and :meth:`run_matrix` decompose into
+    cells and parallelize.  ``jobs=1`` (the default without
+    ``REPRO_JOBS``) degrades to exactly the serial runner.
+    """
+
+    def __init__(
+        self,
+        suite: dict[str, ApplicationTrace],
+        config: Optional[SimulationConfig] = None,
+        *,
+        jobs: Optional[int] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> None:
+        super().__init__(suite, config)
+        self.jobs = resolve_jobs(jobs)
+        self.progress = progress
+
+    def with_config(
+        self, config: SimulationConfig
+    ) -> "ParallelExperimentRunner":
+        clone = ParallelExperimentRunner(
+            self.suite, config, jobs=self.jobs, progress=self.progress
+        )
+        if config.cache == self.config.cache:
+            clone._filtered = self._filtered
+        return clone
+
+    def prewarm(self, applications: Optional[Sequence[str]] = None) -> None:
+        """Run the memoized cache-filtering pass in the parent so forked
+        workers inherit it copy-on-write instead of re-filtering."""
+        for application in applications or self.applications:
+            self.filtered(application)
+
+    def run_suite(
+        self,
+        predictor: str,
+        *,
+        applications: Optional[Sequence[str]] = None,
+        mode: str = "global",
+        multistate: bool = False,
+        jobs: Optional[int] = None,
+    ) -> dict[str, ApplicationResult]:
+        """One predictor over many applications, one cell per app."""
+        matrix = self.run_matrix(
+            [predictor],
+            mode=mode,
+            applications=applications,
+            multistate=multistate,
+            jobs=jobs,
+        )
+        return {app: row[predictor] for app, row in matrix.items()}
+
+    def run_matrix(
+        self,
+        predictors: Sequence[str],
+        *,
+        mode: str = "global",
+        applications: Optional[Sequence[str]] = None,
+        multistate: bool = False,
+        jobs: Optional[int] = None,
+    ) -> dict[str, dict[str, ApplicationResult]]:
+        if mode not in ("global", "local"):
+            raise ValueError(f"unknown mode {mode!r}")
+        apps = list(applications) if applications else self.applications
+        names = list(predictors)
+        cells = [
+            ExperimentCell(
+                index=len(names) * row + column,
+                application=application,
+                predictor=name,
+            )
+            for row, application in enumerate(apps)
+            for column, name in enumerate(names)
+        ]
+
+        def run_cell(cell: ExperimentCell) -> ApplicationResult:
+            if mode == "local":
+                return self.run_local(cell.application, cell.predictor)
+            return self.run_global(
+                cell.application, cell.predictor, multistate=multistate
+            )
+
+        self.prewarm(apps)
+        results = execute_cells(
+            cells,
+            run_cell,
+            jobs=self.jobs if jobs is None else jobs,
+            progress=self.progress,
+        )
+        matrix: dict[str, dict[str, ApplicationResult]] = {}
+        for item in results:
+            row = matrix.setdefault(item.cell.application, {})
+            row[item.cell.predictor] = item.result
+        return matrix

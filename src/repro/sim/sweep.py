@@ -6,6 +6,14 @@ collect aggregate accuracy/energy per point.  :func:`sweep` packages
 that loop; the configuration is varied either by rebuilding the
 :class:`~repro.config.SimulationConfig` (sharing the cache-filtering
 work when possible) or by supplying a custom spec factory per point.
+
+A sweep decomposes into independent (point × application) cells —
+including one ``Base`` baseline cell per *distinct* (configuration ×
+application) pair, computed once and reused by every point that shares
+the configuration — and executes them through
+:func:`repro.sim.parallel.execute_cells`.  With ``jobs`` > 1 the cells
+run on a process pool; the fold over per-cell results is in fixed cell
+order either way, so parallel sweeps are bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -15,8 +23,9 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.config import SimulationConfig
 from repro.predictors.registry import PredictorSpec
-from repro.sim.experiment import ExperimentRunner
+from repro.sim.experiment import ApplicationResult, ExperimentRunner
 from repro.sim.metrics import PredictionStats
+from repro.sim.parallel import ExperimentCell, ProgressHook, execute_cells
 
 P = TypeVar("P")
 
@@ -35,6 +44,8 @@ class SweepPoint:
     shutdowns: int
     delayed_requests: int
     irritating_delays: int
+    opportunities: int = 0
+    disk_accesses: int = 0
 
 
 def sweep(
@@ -47,6 +58,8 @@ def sweep(
     ] = None,
     predictor: str = "PCAP",
     applications: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> list[SweepPoint]:
     """Run one predictor across the suite for each parameter value.
 
@@ -56,35 +69,98 @@ def sweep(
     given; with neither, the sweep degenerates to a single-point run per
     value (useful for comparing predictor names by passing them as the
     values and ``make_spec=lambda name, cfg: registry.make_spec(...)``).
+
+    ``jobs`` selects the worker count of the parallel execution layer
+    (``None`` defers to ``REPRO_JOBS``); ``progress`` receives one
+    :class:`~repro.sim.parallel.CellProgress` event per finished cell.
     """
     if make_config is not None and make_spec is not None:
         raise ValueError("pass make_config or make_spec, not both")
     apps = list(applications) if applications else runner.applications
-    points: list[SweepPoint] = []
-    for value in values:
+    point_values = list(values)
+
+    # Per-point runners; with_config shares the memoized cache-filtering
+    # pass whenever the cache configuration is unchanged.
+    point_runners: list[ExperimentRunner] = []
+    for value in point_values:
         if make_config is not None:
-            point_runner = runner.with_config(make_config(value))
+            point_runners.append(runner.with_config(make_config(value)))
         else:
-            point_runner = runner
-        config = point_runner.config
+            point_runners.append(runner)
+
+    # Decompose into cells.  Predictor cells first (point-major, then
+    # application order — the fold order of the serial implementation);
+    # then one baseline cell per distinct (configuration, application).
+    plan: list[tuple[str, int, str]] = []
+    cells: list[ExperimentCell] = []
+
+    def add_cell(kind: str, point: int, application: str, label: str) -> None:
+        plan.append((kind, point, application))
+        cells.append(
+            ExperimentCell(
+                index=len(cells), application=application, predictor=label
+            )
+        )
+
+    for point, value in enumerate(point_values):
+        for application in apps:
+            add_cell("run", point, application, f"{predictor}@{value!r}")
+
+    #: (config, application) → cell position of its baseline.
+    baseline_cells: dict[tuple[SimulationConfig, str], int] = {}
+    sweeping_base = make_spec is None and predictor == "Base"
+    for point, point_runner in enumerate(point_runners):
+        for position, application in enumerate(apps):
+            key = (point_runner.config, application)
+            if key in baseline_cells:
+                continue
+            if sweeping_base:
+                # The swept predictor is the baseline itself; its run
+                # cell doubles as the baseline cell.
+                baseline_cells[key] = point * len(apps) + position
+            else:
+                baseline_cells[key] = len(cells)
+                add_cell("base", point, application, "Base")
+
+    def run_cell(cell: ExperimentCell) -> ApplicationResult:
+        kind, point, application = plan[cell.index]
+        point_runner = point_runners[point]
+        if kind == "base":
+            return point_runner.run_global(application, "Base")
+        if make_spec is not None:
+            target: str | PredictorSpec = make_spec(
+                point_values[point], point_runner.config
+            )
+        else:
+            target = predictor
+        return point_runner.run_global(application, target)
+
+    # Warm the shared filter cache in the parent so forked workers (and
+    # the serial path) never re-filter applications per point.
+    for application in apps:
+        runner.filtered(application)
+
+    results = execute_cells(cells, run_cell, jobs=jobs, progress=progress)
+
+    points: list[SweepPoint] = []
+    for point, value in enumerate(point_values):
         stats = PredictionStats()
         energy = 0.0
         base_energy = 0.0
         shutdowns = 0
         delayed = 0
         irritating = 0
-        for app in apps:
-            if make_spec is not None:
-                target: str | PredictorSpec = make_spec(value, config)
-            else:
-                target = predictor
-            result = point_runner.run_global(app, target)
+        accesses = 0
+        for position, application in enumerate(apps):
+            result = results[point * len(apps) + position].result
             stats.merge(result.stats)
             energy += result.energy
             shutdowns += result.shutdowns
             delayed += result.delayed_requests
             irritating += result.irritating_delays
-            base_energy += point_runner.run_global(app, "Base").energy
+            accesses += result.total_disk_accesses
+            key = (point_runners[point].config, application)
+            base_energy += results[baseline_cells[key]].result.energy
         points.append(
             SweepPoint(
                 value=value,
@@ -97,6 +173,8 @@ def sweep(
                 shutdowns=shutdowns,
                 delayed_requests=delayed,
                 irritating_delays=irritating,
+                opportunities=stats.opportunities,
+                disk_accesses=accesses,
             )
         )
     return points

@@ -37,7 +37,7 @@ import re
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Optional, Union
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceError, TraceFormatError
 from repro.traces.events import AccessType, ExitEvent, ForkEvent, IOEvent
 from repro.traces.trace import ExecutionTrace
 from repro.workloads.rng import stable_seed
@@ -154,6 +154,7 @@ def parse_strace(
     #: interleaving artifacts) are dropped.
     exited: set[int] = set()
     first_time: Optional[float] = None
+    last_time = 0.0
     inferred_root: Optional[int] = root_pid
 
     def ensure_known(pid: int) -> bool:
@@ -169,11 +170,18 @@ def parse_strace(
         return True
 
     def rebase(raw_time: str) -> float:
-        nonlocal first_time
+        # ``strace -f`` flushes per-process buffers independently, so
+        # timestamps can regress slightly across pids; clamping to a
+        # monotone clock keeps line order and event order consistent
+        # (liveness would otherwise break, e.g. an I/O sorting after
+        # its process's exit).
+        nonlocal first_time, last_time
         value = float(raw_time)
         if first_time is None:
             first_time = value
-        return max(0.0, value - first_time)
+        value = max(0.0, value - first_time)
+        last_time = max(last_time, value)
+        return last_time
 
     for line in lines:
         line = line.strip()
@@ -283,7 +291,15 @@ def parse_strace(
         events=events,
         initial_pids=frozenset(roots),
     ).sorted()
-    execution.validate()
+    try:
+        execution.validate()
+    except TraceFormatError:
+        raise
+    except TraceError as error:
+        # Garbled input can still assemble into a contradictory trace
+        # (an exit for a pid the importer never saw alive, say); report
+        # it as a format problem rather than crashing downstream.
+        raise TraceFormatError(f"inconsistent strace input: {error}") from error
     return execution, stats
 
 

@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.traces.events import AccessType, ExitEvent, ForkEvent, IOEvent
+from repro.traces.events import ExitEvent, ForkEvent, IOEvent
 from repro.traces.trace import ExecutionTrace
 from repro.workloads.activities import (
     HelperProcess,

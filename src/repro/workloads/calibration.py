@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.paper_data import PAPER_TABLE1
-from repro.config import SimulationConfig
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.idle_periods import stream_gaps
 

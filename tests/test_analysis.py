@@ -34,7 +34,6 @@ from repro.analysis.report import (
 )
 from repro.analysis.tables import build_table1, build_table2, build_table3
 from repro.config import SimulationConfig
-from repro.disk.power_model import fujitsu_mhf2043at
 from repro.sim.experiment import ExperimentRunner
 from repro.traces.trace import ApplicationTrace
 from tests.helpers import single_process_execution

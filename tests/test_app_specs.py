@@ -1,6 +1,5 @@
 """Per-application workload model structure (paper §6 descriptions)."""
 
-import pytest
 
 from repro.traces.events import AccessType
 from repro.workloads import application_spec

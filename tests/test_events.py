@@ -7,7 +7,6 @@ from repro.traces.events import (
     AccessType,
     ExitEvent,
     ForkEvent,
-    IOEvent,
     event_sort_key,
 )
 from tests.helpers import io_event

@@ -5,7 +5,6 @@ import pytest
 from repro.config import SimulationConfig
 from repro.disk.disk import SimulatedDisk
 from repro.disk.power_model import fujitsu_mhf2043at
-from repro.predictors.registry import make_spec
 from repro.sim.experiment import ExperimentRunner
 from repro.traces.trace import ApplicationTrace
 from tests.helpers import single_process_execution

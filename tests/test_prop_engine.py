@@ -1,6 +1,5 @@
 """Metamorphic properties of the simulation engine."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

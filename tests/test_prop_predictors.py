@@ -1,6 +1,5 @@
 """Property tests: predictor protocol and engine invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TraceFormatError
-from repro.traces.events import AccessType, ExitEvent, ForkEvent, IOEvent
+from repro.traces.events import AccessType, ExitEvent, ForkEvent
 from repro.traces.strace_import import parse_strace
 
 SIMPLE = """\
