@@ -1,0 +1,391 @@
+"""Structured simulation tracing (the observability layer).
+
+This private module holds the implementation; the public import path is
+:mod:`repro.sim.tracing`.  It lives outside the ``sim`` package so the
+low-level emitters (``repro.core.pcap``, ``repro.disk.disk``, the
+predictor base class) can import the event types without pulling in the
+simulation engine — whose import graph passes back through them.
+
+Every component of a simulation run — the engine, the simulated disk,
+the global predictor, and PCAP — can emit typed events into a *tracer*.
+A tracer is anything with an ``emit(event)`` method; components hold
+``None`` by default, so a run with tracing disabled pays exactly one
+``is not None`` check per would-be event and allocates nothing.
+
+The stock sink is :class:`TraceRecorder`: an in-memory event log (plain
+list, or a bounded ring buffer) that keeps per-kind summary counters even
+for events the ring has dropped, and exports the stream as JSON lines via
+:func:`write_jsonl` / :func:`read_jsonl` (a lossless round trip).
+
+Event vocabulary (one frozen dataclass per kind):
+
+================== ====================================================
+``access-served``    a post-cache request reached the disk
+``gap-resolved``     an idle gap closed (mirrors ``disk.GapReport``)
+``shutdown-sched``   the power manager issued a spin-down command
+``shutdown-fired``   the spin-down took effect and was classified
+``shutdown-cancel``  a decision existed but an arrival pre-empted it
+``wait-expired``     the sliding wait-window elapsed without I/O
+``sig-lookup``       PCAP looked a signature key up (hit/miss)
+``table-train``      a long idle period trained a table entry
+``history``          the idle-history register shifted a bit in
+``spinup-delay``     a request waited for the disk to spin back up
+``low-power``        the multi-state disk dropped to low-power idle
+``proc-start``       a process became live in the global predictor
+``proc-exit``        a process exited
+``unknown-pid``      an access arrived from an unregistered pid
+================== ====================================================
+
+Events are small, picklable, and JSON-serializable, so parallel workers
+ship them back with their :class:`~repro.sim.experiment.ApplicationResult`
+and the cell-ordered merge keeps serial/parallel streams identical.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, fields
+from typing import (
+    Any,
+    ClassVar,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    TextIO,
+    Union,
+)
+
+from repro.errors import ReproError
+
+
+class TraceFormatError(ReproError):
+    """A serialized trace line could not be decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Event types
+# ---------------------------------------------------------------------------
+
+#: A table key is a bare signature or a (signature, history, fd) tuple.
+TraceKey = Union[int, tuple]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessServed:
+    """A post-cache disk access was served."""
+
+    kind: ClassVar[str] = "access-served"
+    time: float
+    pid: int
+    pc: int
+    block_count: int
+    busy_until: float
+
+
+@dataclass(frozen=True, slots=True)
+class GapResolved:
+    """An idle gap closed; mirrors :class:`repro.disk.disk.GapReport`."""
+
+    kind: ClassVar[str] = "gap-resolved"
+    time: float  #: gap end
+    start: float
+    length: float
+    shutdown_at: Optional[float]
+
+
+@dataclass(frozen=True, slots=True)
+class ShutdownScheduled:
+    """A spin-down command was issued inside the current gap."""
+
+    kind: ClassVar[str] = "shutdown-sched"
+    time: float
+    source: str  #: "primary" | "backup"
+
+
+@dataclass(frozen=True, slots=True)
+class ShutdownFired:
+    """A spin-down took effect; classification matches PredictionStats."""
+
+    kind: ClassVar[str] = "shutdown-fired"
+    time: float
+    offset: float  #: seconds into the gap
+    gap_length: float
+    source: str
+    hit: bool  #: off-window beat the breakeven time
+
+
+@dataclass(frozen=True, slots=True)
+class ShutdownCancelled:
+    """A standing decision was pre-empted by an arrival."""
+
+    kind: ClassVar[str] = "shutdown-cancel"
+    time: float
+    reason: str  #: "wait-window" | "back-to-back"
+
+
+@dataclass(frozen=True, slots=True)
+class WaitWindowExpired:
+    """The sliding wait-window elapsed with no further I/O."""
+
+    kind: ClassVar[str] = "wait-expired"
+    time: float
+    source: str
+
+
+@dataclass(frozen=True, slots=True)
+class SignatureLookup:
+    """PCAP looked up a key in the prediction table."""
+
+    kind: ClassVar[str] = "sig-lookup"
+    time: float
+    pid: int
+    key: TraceKey
+    hit: bool
+
+
+@dataclass(frozen=True, slots=True)
+class TableTrain:
+    """A long idle period trained the prediction table."""
+
+    kind: ClassVar[str] = "table-train"
+    time: float
+    pid: int
+    key: TraceKey
+    inserted: bool  #: False when the entry already existed
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryUpdate:
+    """The idle-history register shifted in one class bit."""
+
+    kind: ClassVar[str] = "history"
+    time: float
+    pid: int
+    bit: int
+    register: int  #: packed register value after the shift
+
+
+@dataclass(frozen=True, slots=True)
+class SpinUpDelay:
+    """A request had to wait for the disk to spin back up."""
+
+    kind: ClassVar[str] = "spinup-delay"
+    time: float
+    seconds: float
+    irritating: bool  #: off-window below breakeven (§6.3)
+
+
+@dataclass(frozen=True, slots=True)
+class LowPowerEntered:
+    """The multi-state disk dropped to its low-power idle state."""
+
+    kind: ClassVar[str] = "low-power"
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessStarted:
+    """A process became live in the global predictor."""
+
+    kind: ClassVar[str] = "proc-start"
+    time: float
+    pid: int
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessExited:
+    """A live process exited."""
+
+    kind: ClassVar[str] = "proc-exit"
+    time: float
+    pid: int
+
+
+@dataclass(frozen=True, slots=True)
+class UnknownPidRegistered:
+    """An access arrived from a pid the global predictor had never seen
+    (fork unobserved / absent from ``initial_pids``); it was registered
+    on the spot so its predictor still receives feedback."""
+
+    kind: ClassVar[str] = "unknown-pid"
+    time: float
+    pid: int
+
+
+#: Union of every event type, in emission-site order.
+SimTraceEvent = Union[
+    AccessServed,
+    GapResolved,
+    ShutdownScheduled,
+    ShutdownFired,
+    ShutdownCancelled,
+    WaitWindowExpired,
+    SignatureLookup,
+    TableTrain,
+    HistoryUpdate,
+    SpinUpDelay,
+    LowPowerEntered,
+    ProcessStarted,
+    ProcessExited,
+    UnknownPidRegistered,
+]
+
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls for cls in SimTraceEvent.__args__  # type: ignore[attr-defined]
+}
+
+
+# ---------------------------------------------------------------------------
+# Tracer protocol and sinks
+# ---------------------------------------------------------------------------
+
+
+class Tracer(Protocol):
+    """Anything events can be emitted into."""
+
+    def emit(self, event: SimTraceEvent) -> None: ...
+
+
+class TraceRecorder:
+    """In-memory event sink with summary counters and JSONL export.
+
+    ``capacity`` bounds the retained stream as a ring buffer (oldest
+    events dropped); ``None`` retains everything.  Counters always cover
+    the full stream, including dropped events.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("ring-buffer capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[SimTraceEvent] = deque(maxlen=capacity)
+        self._counts: dict[str, int] = {}
+        self.emitted = 0
+
+    def emit(self, event: SimTraceEvent) -> None:
+        self._events.append(event)
+        kind = event.kind
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        self.emitted += 1
+
+    @property
+    def events(self) -> tuple[SimTraceEvent, ...]:
+        """Retained events, oldest first."""
+        return tuple(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Per-kind counters over the *whole* stream (sorted by kind)."""
+        return dict(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimTraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counts.clear()
+        self.emitted = 0
+
+
+# ---------------------------------------------------------------------------
+# Serialization (JSON lines)
+# ---------------------------------------------------------------------------
+
+
+def event_to_dict(event: SimTraceEvent) -> dict[str, Any]:
+    """Flat JSON-safe dict with the event ``kind`` in the ``"ev"`` slot."""
+    record: dict[str, Any] = {"ev": event.kind}
+    record.update(asdict(event))
+    key = record.get("key")
+    if isinstance(key, tuple):
+        record["key"] = list(key)
+    return record
+
+
+def event_from_dict(record: dict[str, Any]) -> SimTraceEvent:
+    """Inverse of :func:`event_to_dict`."""
+    data = dict(record)
+    kind = data.pop("ev", None)
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise TraceFormatError(f"unknown trace event kind {kind!r}")
+    if isinstance(data.get("key"), list):
+        data["key"] = tuple(data["key"])
+    names = {f.name for f in fields(cls)}
+    extra = set(data) - names
+    if extra:
+        raise TraceFormatError(
+            f"unexpected fields {sorted(extra)} for event {kind!r}"
+        )
+    try:
+        return cls(**data)
+    except TypeError as error:
+        raise TraceFormatError(f"malformed {kind!r} event: {error}") from None
+
+
+def write_jsonl(events: Iterable[SimTraceEvent], stream: TextIO) -> int:
+    """Write events as one JSON object per line; returns the line count."""
+    written = 0
+    for event in events:
+        stream.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+        stream.write("\n")
+        written += 1
+    return written
+
+
+def read_jsonl(stream: TextIO) -> list[SimTraceEvent]:
+    """Read a JSON-lines trace back into typed events."""
+    events: list[SimTraceEvent] = []
+    for number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"line {number}: {error}") from None
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"line {number}: not a JSON object")
+        events.append(event_from_dict(record))
+    return events
+
+
+def summarize(events: Iterable[SimTraceEvent]) -> dict[str, int]:
+    """Per-kind counters of an event stream (sorted by kind)."""
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+__all__ = [
+    "AccessServed",
+    "EVENT_TYPES",
+    "GapResolved",
+    "HistoryUpdate",
+    "LowPowerEntered",
+    "ProcessExited",
+    "ProcessStarted",
+    "ShutdownCancelled",
+    "ShutdownFired",
+    "ShutdownScheduled",
+    "SignatureLookup",
+    "SimTraceEvent",
+    "SpinUpDelay",
+    "TableTrain",
+    "TraceFormatError",
+    "TraceKey",
+    "TraceRecorder",
+    "Tracer",
+    "UnknownPidRegistered",
+    "WaitWindowExpired",
+    "event_from_dict",
+    "event_to_dict",
+    "read_jsonl",
+    "summarize",
+    "write_jsonl",
+]

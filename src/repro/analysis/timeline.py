@@ -1,0 +1,126 @@
+"""Human-readable rendering of structured simulation traces.
+
+Turns the typed event stream of :mod:`repro.sim.tracing` into the
+decision timeline a person debugging a figure mismatch wants to read:
+one aligned line per event, with the fields that matter for that kind.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.tracing import (
+    AccessServed,
+    GapResolved,
+    HistoryUpdate,
+    LowPowerEntered,
+    ProcessExited,
+    ProcessStarted,
+    ShutdownCancelled,
+    ShutdownFired,
+    ShutdownScheduled,
+    SignatureLookup,
+    SimTraceEvent,
+    SpinUpDelay,
+    TableTrain,
+    UnknownPidRegistered,
+    WaitWindowExpired,
+    summarize,
+)
+
+
+def _key_repr(key) -> str:
+    if isinstance(key, tuple):
+        return "(" + ",".join(_key_repr(part) for part in key) + ")"
+    if isinstance(key, int):
+        return f"{key:#x}"
+    return repr(key)
+
+
+def describe_event(event: SimTraceEvent) -> str:
+    """The detail column of one timeline line."""
+    if isinstance(event, AccessServed):
+        return (
+            f"pid={event.pid} pc={event.pc:#x} blocks={event.block_count} "
+            f"busy-until={event.busy_until:.3f}"
+        )
+    if isinstance(event, GapResolved):
+        shut = (
+            f" shutdown@{event.shutdown_at:.3f}"
+            if event.shutdown_at is not None
+            else ""
+        )
+        return f"start={event.start:.3f} length={event.length:.3f}s{shut}"
+    if isinstance(event, ShutdownScheduled):
+        return f"source={event.source}"
+    if isinstance(event, ShutdownFired):
+        verdict = "HIT" if event.hit else "MISS"
+        return (
+            f"{verdict} source={event.source} offset={event.offset:.3f}s "
+            f"gap={event.gap_length:.3f}s"
+        )
+    if isinstance(event, ShutdownCancelled):
+        return f"reason={event.reason}"
+    if isinstance(event, WaitWindowExpired):
+        return f"source={event.source}"
+    if isinstance(event, SignatureLookup):
+        return (
+            f"pid={event.pid} key={_key_repr(event.key)} "
+            f"{'hit' if event.hit else 'miss'}"
+        )
+    if isinstance(event, TableTrain):
+        outcome = "new entry" if event.inserted else "already known"
+        return f"pid={event.pid} key={_key_repr(event.key)} {outcome}"
+    if isinstance(event, HistoryUpdate):
+        return (
+            f"pid={event.pid} bit={event.bit} register={event.register:#b}"
+        )
+    if isinstance(event, SpinUpDelay):
+        tag = " IRRITATING" if event.irritating else ""
+        return f"waited={event.seconds:.3f}s{tag}"
+    if isinstance(event, (ProcessStarted, ProcessExited, UnknownPidRegistered)):
+        return f"pid={event.pid}"
+    if isinstance(event, LowPowerEntered):
+        return ""
+    return repr(event)
+
+
+def render_timeline(
+    events: Sequence[SimTraceEvent],
+    *,
+    limit: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """One aligned line per event; ``limit`` truncates with a footer."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    shown = events if limit is None or limit <= 0 else events[:limit]
+    for event in shown:
+        lines.append(
+            f"t={event.time:12.4f}s  {event.kind:<15} {describe_event(event)}"
+            .rstrip()
+        )
+    hidden = len(events) - len(shown)
+    if hidden > 0:
+        lines.append(f"... ({hidden} more events; raise --limit to see them)")
+    if not events:
+        lines.append("(no events recorded)")
+    return "\n".join(lines)
+
+
+def render_trace_summary(counts: dict[str, int]) -> str:
+    """The per-kind counter table shown under a timeline."""
+    if not counts:
+        return "(no events recorded)"
+    width = max(len(kind) for kind in counts)
+    lines = ["event counts:"]
+    for kind, count in sorted(counts.items()):
+        lines.append(f"  {kind:<{width}}  {count}")
+    return "\n".join(lines)
+
+
+def timeline_summary(events: Iterable[SimTraceEvent]) -> str:
+    """Convenience: summary table straight from an event stream."""
+    return render_trace_summary(summarize(events))

@@ -6,6 +6,7 @@
     python -m repro figure 7 [--scale S] [--chart]
     python -m repro table 1 [--scale S]
     python -m repro simulate --app mozilla --predictor PCAP [--scale S]
+    python -m repro trace --app mozilla --predictor PCAP [--out t.jsonl]
     python -m repro generate --app mozilla --out traces.jsonl [--scale S]
     python -m repro import-strace trace.txt --app myapp [--predictor PCAP]
     python -m repro inspect traces.jsonl
@@ -42,11 +43,13 @@ from repro.analysis.report import (
     render_table3,
 )
 from repro.analysis.tables import build_table1, build_table2, build_table3
+from repro.analysis.timeline import render_timeline, render_trace_summary
 from repro.config import SimulationConfig
 from repro.errors import ReproError
 from repro.predictors.registry import KNOWN_PREDICTORS
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.parallel import ParallelExperimentRunner, stderr_progress
+from repro.sim.tracing import TraceRecorder, write_jsonl
 from repro.traces.io_format import (
     read_application_trace,
     write_application_trace,
@@ -159,10 +162,17 @@ def _cmd_table(args) -> int:
     return 0
 
 
+def _write_trace(path: str, events) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        written = write_jsonl(events, stream)
+    print(f"wrote {written} trace events to {path}")
+
+
 def _cmd_simulate(args) -> int:
     runner = _runner(args, applications=(args.app,))
     base = runner.run_global(args.app, "Base")
-    result = runner.run_global(args.app, args.predictor)
+    recorder = TraceRecorder() if args.trace_out else None
+    result = runner.run_global(args.app, args.predictor, tracer=recorder)
     stats = result.stats
     print(f"{args.app} x {result.predictor} (scale {args.scale}, "
           f"{result.executions} executions)")
@@ -178,7 +188,32 @@ def _cmd_simulate(args) -> int:
           f"savings {1 - result.energy / base.energy:.1%})")
     if result.table_size is not None:
         print(f"  prediction table   : {result.table_size} entries")
+    if recorder is not None:
+        _write_trace(args.trace_out, recorder.events)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    runner = _runner(args, applications=(args.app,))
+    recorder = TraceRecorder(
+        capacity=args.capacity if args.capacity > 0 else None
+    )
+    result = runner.run_global(
+        args.app, args.predictor, multistate=args.multistate, tracer=recorder
+    )
+    stats = result.stats
+    title = (f"{args.app} x {result.predictor} decision timeline "
+             f"(scale {args.scale}, {result.executions} executions)")
+    print(render_timeline(recorder.events, limit=args.limit, title=title))
+    print()
+    print(render_trace_summary(recorder.counts()))
+    fired = recorder.counts().get("shutdown-fired", 0)
+    print(f"reconciliation     : shutdown-fired events {fired}, "
+          f"stats hits+misses {stats.shutdowns} "
+          f"({'OK' if fired == stats.shutdowns else 'MISMATCH'})")
+    if args.out:
+        _write_trace(args.out, recorder.events)
+    return 0 if fired == stats.shutdowns else 1
 
 
 def _cmd_generate(args) -> int:
@@ -207,11 +242,18 @@ def _cmd_import_strace(args) -> int:
             {args.app: ApplicationTrace(args.app, [execution])},
             SimulationConfig(),
         )
-        result = runner.run_global(args.app, args.predictor)
+        recorder = TraceRecorder() if args.trace_out else None
+        result = runner.run_global(args.app, args.predictor, tracer=recorder)
         print(f"{args.predictor}: coverage "
               f"{result.stats.hit_fraction:.1%}, misses "
               f"{result.stats.miss_fraction:.1%}, energy "
               f"{result.energy:.1f} J")
+        if recorder is not None:
+            _write_trace(args.trace_out, recorder.events)
+    elif args.trace_out:
+        print("--trace-out needs --predictor to run a simulation",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -279,8 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="one app under one predictor")
     p.add_argument("--app", choices=APPLICATIONS, required=True)
     p.add_argument("--predictor", choices=KNOWN_PREDICTORS, default="PCAP")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="record the structured event trace as JSON lines")
     add_scale(p)
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay one app × predictor cell with the decision timeline",
+    )
+    p.add_argument("--app", choices=APPLICATIONS, required=True)
+    p.add_argument("--predictor", choices=KNOWN_PREDICTORS, default="PCAP")
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the timeline as JSON lines")
+    p.add_argument("--limit", type=int, default=60,
+                   help="timeline lines to print (0 = all; default 60)")
+    p.add_argument("--capacity", type=int, default=0,
+                   help="ring-buffer size; 0 keeps every event (default)")
+    p.add_argument("--multistate", action="store_true",
+                   help="enable the §7 low-power idle state")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("generate", help="write a workload trace file")
     p.add_argument("--app", choices=APPLICATIONS, required=True)
@@ -294,6 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the converted trace (JSON lines)")
     p.add_argument("--predictor", choices=KNOWN_PREDICTORS,
                    help="also simulate the imported trace")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="record the simulation's event trace (JSON lines; "
+                        "needs --predictor)")
     p.set_defaults(fn=_cmd_import_strace)
 
     p = sub.add_parser("inspect", help="summarize a trace file")

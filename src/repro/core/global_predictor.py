@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro._tracing import ProcessExited, ProcessStarted
 from repro.cache.filter import DiskAccess
 from repro.errors import SimulationError
 from repro.predictors.base import (
@@ -64,10 +65,12 @@ class GlobalShutdownPredictor:
         *,
         wait_window: float,
         breakeven: float,
+        tracer=None,
     ) -> None:
         self._factory = predictor_factory
         self.wait_window = wait_window
         self.breakeven = breakeven
+        self.tracer = tracer
         self._slots: dict[int, _ProcessSlot] = {}
 
     @property
@@ -81,6 +84,9 @@ class GlobalShutdownPredictor:
         if pid in self._slots:
             raise SimulationError(f"pid {pid} started twice")
         predictor = self._factory(pid)
+        if self.tracer is not None:
+            predictor.bind_tracing(self.tracer, pid)
+            self.tracer.emit(ProcessStarted(time=time, pid=pid))
         intent = predictor.initial_intent(time)
         self._slots[pid] = _ProcessSlot(
             predictor=predictor,
@@ -94,6 +100,8 @@ class GlobalShutdownPredictor:
         slot = self._slots.pop(pid, None)
         if slot is None:
             raise SimulationError(f"exit of unknown pid {pid}")
+        if self.tracer is not None:
+            self.tracer.emit(ProcessExited(time=time, pid=pid))
         # Deliver the final idle period (last access → exit) so trailing
         # gaps train: the table is saved at application exit (§4.2), by
         # which time an idle period longer than breakeven has been

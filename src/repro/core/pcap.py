@@ -36,6 +36,7 @@ from repro.predictors.base import (
     PredictorSource,
     ShutdownIntent,
 )
+from repro._tracing import HistoryUpdate, SignatureLookup, TableTrain
 
 
 class PCAPPredictor(LocalPredictor):
@@ -121,6 +122,15 @@ class PCAPPredictor(LocalPredictor):
         key = self._make_key(signature, access)
         self._pending_key = key
         matched = self.table.lookup(key)
+        if self.tracer is not None:
+            self.tracer.emit(
+                SignatureLookup(
+                    time=access.time,
+                    pid=self.trace_pid if self.trace_pid is not None else access.pid,
+                    key=key,
+                    hit=matched,
+                )
+            )
         if matched and (self.confidence is None or self.confidence.allows(key)):
             self._pending_primary = True
             return ShutdownIntent(
@@ -137,11 +147,23 @@ class PCAPPredictor(LocalPredictor):
             return
         if feedback.idle_class == IdleClass.LONG:
             if self._pending_key is not None:
-                self.table.train(self._pending_key)
+                inserted = self.table.train(self._pending_key)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        TableTrain(
+                            time=feedback.end,
+                            pid=self.trace_pid or 0,
+                            key=self._pending_key,
+                            inserted=inserted,
+                        )
+                    )
                 if self.confidence is not None:
                     self.confidence.record(self._pending_key, long_idle=True)
-            # Prediction verified (or training complete): path restarts.
+            # Prediction verified (or training complete): path restarts,
+            # and the trained key is consumed — a further idle period with
+            # no intervening I/O (the trailing gap) must not retrain it.
             self._signature.restart()
+            self._pending_key = None
         else:  # SHORT: a shutdown issued here would have been a miss.
             if (
                 self.confidence is not None
@@ -151,6 +173,15 @@ class PCAPPredictor(LocalPredictor):
                 self.confidence.record(self._pending_key, long_idle=False)
         if self._history is not None:
             self._history.record(feedback.idle_class)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    HistoryUpdate(
+                        time=feedback.end,
+                        pid=self.trace_pid or 0,
+                        bit=1 if feedback.idle_class == IdleClass.LONG else 0,
+                        register=self._history.as_int(),
+                    )
+                )
         self._pending_primary = False
 
     def _make_key(self, signature: int, access: DiskAccess) -> Hashable:

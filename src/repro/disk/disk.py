@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro._tracing import GapResolved, ShutdownCancelled, SpinUpDelay
 from repro.disk.energy import EnergyBreakdown
 from repro.disk.power_model import DiskPowerParameters
 from repro.errors import DiskStateError
@@ -53,9 +54,15 @@ class SimulatedDisk:
     """Three-state disk (active / idle / standby) with an energy ledger."""
 
     def __init__(
-        self, params: DiskPowerParameters, start_time: float = 0.0
+        self,
+        params: DiskPowerParameters,
+        start_time: float = 0.0,
+        *,
+        tracer=None,
     ) -> None:
         self.params = params
+        #: Structured-tracing sink (``None`` = disabled, zero overhead).
+        self.tracer = tracer
         self.ledger = EnergyBreakdown()
         self.shutdown_count = 0
         self.spinup_count = 0
@@ -99,7 +106,16 @@ class SimulatedDisk:
             )
         self._last_arrival = time
         if time < self._busy_until - EPSILON:
-            # Back-to-back request: serialize behind the current one.
+            # Back-to-back request: serialize behind the current one.  The
+            # anticipated gap is swallowed, so a shutdown pending in it
+            # never happens — drop it, or it would leak into the next gap
+            # and corrupt the energy ledger.
+            if self._shutdown_at is not None:
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        ShutdownCancelled(time=time, reason="back-to-back")
+                    )
+                self._shutdown_at = None
             self.ledger.add_busy(self.params.busy_power * duration)
             self._busy_until += duration
             self._gap_start = self._busy_until
@@ -147,6 +163,15 @@ class SimulatedDisk:
             )
         end = max(end, start)
         report = GapReport(start=start, end=end, shutdown_at=self._shutdown_at)
+        if self.tracer is not None:
+            self.tracer.emit(
+                GapResolved(
+                    time=report.end,
+                    start=report.start,
+                    length=report.length,
+                    shutdown_at=report.shutdown_at,
+                )
+            )
         self._account_gap(report, request_follows=request_follows)
         self._gap_start = None
         self._shutdown_at = None
@@ -180,6 +205,14 @@ class SimulatedDisk:
                 0.0, (report.shutdown_at + params.shutdown_time) - report.end
             )
             self.delayed_requests += 1
-            self.delay_seconds += params.spinup_time + remaining_spin_down
-            if off_window <= self._breakeven:
+            wait = params.spinup_time + remaining_spin_down
+            self.delay_seconds += wait
+            irritating = off_window <= self._breakeven
+            if irritating:
                 self.irritating_delays += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    SpinUpDelay(
+                        time=report.end, seconds=wait, irritating=irritating
+                    )
+                )

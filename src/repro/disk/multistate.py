@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro._tracing import LowPowerEntered, SpinUpDelay
 from repro.disk.disk import GapReport, SimulatedDisk
 from repro.disk.power_model import DiskPowerParameters
 from repro.errors import DiskStateError
@@ -34,9 +35,13 @@ class MultiStateDisk(SimulatedDisk):
     """
 
     def __init__(
-        self, params: DiskPowerParameters, start_time: float = 0.0
+        self,
+        params: DiskPowerParameters,
+        start_time: float = 0.0,
+        *,
+        tracer=None,
     ) -> None:
-        super().__init__(params, start_time=start_time)
+        super().__init__(params, start_time=start_time, tracer=tracer)
         self._low_power_at: Optional[float] = None
 
     def enter_low_power(self, time: float) -> None:
@@ -49,6 +54,8 @@ class MultiStateDisk(SimulatedDisk):
         if self._low_power_at is not None:
             raise DiskStateError("low-power idle already entered in this gap")
         self._low_power_at = max(time, self._gap_start)
+        if self.tracer is not None:
+            self.tracer.emit(LowPowerEntered(time=self._low_power_at))
 
     def serve(self, time: float, duration: float) -> Optional[GapReport]:
         report = super().serve(time, duration)
@@ -93,6 +100,14 @@ class MultiStateDisk(SimulatedDisk):
                 0.0, (report.shutdown_at + params.shutdown_time) - report.end
             )
             self.delayed_requests += 1
-            self.delay_seconds += params.spinup_time + remaining_spin_down
-            if off_window <= self.breakeven_time:
+            wait = params.spinup_time + remaining_spin_down
+            self.delay_seconds += wait
+            irritating = off_window <= self.breakeven_time
+            if irritating:
                 self.irritating_delays += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    SpinUpDelay(
+                        time=report.end, seconds=wait, irritating=irritating
+                    )
+                )

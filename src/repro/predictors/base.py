@@ -135,6 +135,17 @@ class LocalPredictor(ABC):
     #: Short identifier used in reports ("TP", "LT", "PCAP", ...).
     name: str = "base"
 
+    #: Tracing sink and owning pid, bound by the driver when structured
+    #: tracing is enabled (see :mod:`repro.sim.tracing`).  ``None`` means
+    #: disabled — emit sites guard on it and pay only the check.
+    tracer = None
+    trace_pid: Optional[int] = None
+
+    def bind_tracing(self, tracer, pid: int) -> None:
+        """Attach a tracing sink; predictors emit decision events into it."""
+        self.tracer = tracer
+        self.trace_pid = pid
+
     def begin_execution(self, start_time: float) -> None:
         """A new execution of the owning application started."""
 

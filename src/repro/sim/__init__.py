@@ -19,9 +19,21 @@ from repro.sim.parallel import (
     stderr_progress,
 )
 from repro.sim.sweep import SweepPoint, render_sweep, sweep
+from repro.sim.tracing import (
+    SimTraceEvent,
+    TraceRecorder,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
 
 __all__ = [
     "ApplicationResult",
+    "SimTraceEvent",
+    "TraceRecorder",
+    "read_jsonl",
+    "summarize",
+    "write_jsonl",
     "CellProgress",
     "CellResult",
     "ExecutionRunResult",

@@ -38,10 +38,40 @@ from repro.predictors.base import (
 from repro.predictors.registry import PredictorSpec
 from repro.config import SimulationConfig
 from repro.sim.metrics import PredictionStats
+from repro.sim.tracing import (
+    AccessServed,
+    ShutdownCancelled,
+    ShutdownFired,
+    ShutdownScheduled,
+    Tracer,
+    UnknownPidRegistered,
+    WaitWindowExpired,
+)
 from repro.traces.events import ExitEvent, ForkEvent
 from repro.traces.trace import ExecutionTrace
+from repro.units import EPSILON
 
-_EPS = 1e-9
+_EPS = EPSILON
+
+
+def _emit_fired(
+    tracer: Tracer,
+    gap_start: float,
+    gap_length: float,
+    offset: float,
+    source: PredictorSource,
+    breakeven: float,
+) -> None:
+    """Emit a shutdown-fired event classified exactly like the stats."""
+    tracer.emit(
+        ShutdownFired(
+            time=gap_start + offset,
+            offset=offset,
+            gap_length=gap_length,
+            source=source.value,
+            hit=gap_length - offset > breakeven + _EPS,
+        )
+    )
 
 
 def _resolve_shutdown(
@@ -60,17 +90,23 @@ def evaluate_local_stream(
     *,
     start_time: float,
     end_time: float,
+    tracer: Optional[Tracer] = None,
 ) -> PredictionStats:
     """Score ``predictor`` over one process's disk-access stream.
 
     The stream is the process's own accesses; gaps include the leading
     (process start → first access) and trailing (last access → process
-    end) idle periods.
+    end) idle periods.  With a ``tracer`` the predictor's decision events
+    (signature lookups, training) and every fired shutdown are emitted.
     """
     if end_time < start_time:
         raise SimulationError("stream ends before it starts")
     stats = PredictionStats()
     breakeven = config.breakeven
+    if tracer is not None:
+        predictor.bind_tracing(
+            tracer, accesses[0].pid if accesses else 0
+        )
     predictor.begin_execution(start_time)
     intent = predictor.initial_intent(start_time)
     busy_end = start_time
@@ -79,6 +115,11 @@ def evaluate_local_stream(
             gap_length = access.time - busy_end
             offset, source = _resolve_shutdown(intent, gap_length)
             stats.record_gap(gap_length, offset, source, breakeven)
+            if tracer is not None and offset is not None:
+                assert source is not None
+                _emit_fired(
+                    tracer, busy_end, gap_length, offset, source, breakeven
+                )
             predictor.on_idle_end(
                 IdleFeedback(
                     start=busy_end,
@@ -96,6 +137,11 @@ def evaluate_local_stream(
         gap_length = end_time - busy_end
         offset, source = _resolve_shutdown(intent, gap_length)
         stats.record_gap(gap_length, offset, source, breakeven)
+        if tracer is not None and offset is not None:
+            assert source is not None
+            _emit_fired(
+                tracer, busy_end, gap_length, offset, source, breakeven
+            )
         # Trailing idle period trains too (the table is saved at exit).
         predictor.on_idle_end(
             IdleFeedback(
@@ -133,6 +179,7 @@ def run_global_execution(
     config: SimulationConfig,
     *,
     multistate: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionRunResult:
     """Replay one execution's merged disk stream under ``spec``.
 
@@ -148,9 +195,9 @@ def run_global_execution(
     lower power state immediately".
     """
     if spec.is_omniscient:
-        return _run_omniscient(execution, filtered, spec, config)
+        return _run_omniscient(execution, filtered, spec, config, tracer=tracer)
     return _run_local_based(
-        execution, filtered, spec, config, multistate=multistate
+        execution, filtered, spec, config, multistate=multistate, tracer=tracer
     )
 
 
@@ -159,12 +206,14 @@ def _run_omniscient(
     filtered: FilterResult,
     spec: PredictorSpec,
     config: SimulationConfig,
+    *,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionRunResult:
     policy = spec.omniscient
     assert policy is not None
     breakeven = config.breakeven
     start, end = execution.start_time, execution.end_time
-    disk = SimulatedDisk(config.disk, start_time=start)
+    disk = SimulatedDisk(config.disk, start_time=start, tracer=tracer)
     stats = PredictionStats()
 
     def handle_gap(gap_length: float) -> None:
@@ -174,6 +223,21 @@ def _run_omniscient(
             stats.record_gap(
                 gap_length, offset, PredictorSource.PRIMARY, breakeven
             )
+            if tracer is not None:
+                tracer.emit(
+                    ShutdownScheduled(
+                        time=disk.busy_until + offset,
+                        source=PredictorSource.PRIMARY.value,
+                    )
+                )
+                _emit_fired(
+                    tracer,
+                    disk.busy_until,
+                    gap_length,
+                    offset,
+                    PredictorSource.PRIMARY,
+                    breakeven,
+                )
         else:
             stats.record_gap(gap_length, None, None, breakeven)
 
@@ -182,6 +246,16 @@ def _run_omniscient(
         if gap_length > _EPS:
             handle_gap(gap_length)
         disk.serve(access.time, config.access_duration(access.block_count))
+        if tracer is not None:
+            tracer.emit(
+                AccessServed(
+                    time=access.time,
+                    pid=access.pid,
+                    pc=access.pc,
+                    block_count=access.block_count,
+                    busy_until=disk.busy_until,
+                )
+            )
     trailing = end - disk.busy_until
     if trailing > _EPS:
         handle_gap(trailing)
@@ -204,20 +278,22 @@ def _run_local_based(
     config: SimulationConfig,
     *,
     multistate: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionRunResult:
     assert spec.local_factory is not None
     breakeven = config.breakeven
     start, end = execution.start_time, execution.end_time
     disk: SimulatedDisk
     if multistate:
-        disk = MultiStateDisk(config.disk, start_time=start)
+        disk = MultiStateDisk(config.disk, start_time=start, tracer=tracer)
     else:
-        disk = SimulatedDisk(config.disk, start_time=start)
+        disk = SimulatedDisk(config.disk, start_time=start, tracer=tracer)
     stats = PredictionStats()
     combiner = GlobalShutdownPredictor(
         spec.local_factory,
         wait_window=config.wait_window,
         breakeven=breakeven,
+        tracer=tracer,
     )
     for pid in execution.initial_pids:
         combiner.process_started(start, pid)
@@ -259,6 +335,17 @@ def _run_local_based(
         if fire_at < limit - _EPS:
             disk.schedule_shutdown(fire_at)
             pending = (fire_at, decision.source)
+            if tracer is not None:
+                tracer.emit(
+                    WaitWindowExpired(
+                        time=fire_at, source=decision.source.value
+                    )
+                )
+                tracer.emit(
+                    ShutdownScheduled(
+                        time=fire_at, source=decision.source.value
+                    )
+                )
 
     for time, rank, payload in events:
         if rank == 1:
@@ -267,7 +354,28 @@ def _run_local_based(
             try_shutdown(access.time)
             gap_length = access.time - disk.busy_until
             gap_start = disk.busy_until
+            if (
+                tracer is not None
+                and pending is None
+                and gap_length > _EPS
+                and combiner.decision() is not None
+            ):
+                # A standing global decision existed in this gap but the
+                # arrival beat the wait-window / ready time: cancelled.
+                tracer.emit(
+                    ShutdownCancelled(time=access.time, reason="wait-window")
+                )
             disk.serve(access.time, config.access_duration(access.block_count))
+            if tracer is not None:
+                tracer.emit(
+                    AccessServed(
+                        time=access.time,
+                        pid=access.pid,
+                        pc=access.pc,
+                        block_count=access.block_count,
+                        busy_until=disk.busy_until,
+                    )
+                )
             if gap_length > _EPS:
                 if pending is not None:
                     stats.record_gap(
@@ -276,10 +384,30 @@ def _run_local_based(
                         pending[1],
                         breakeven,
                     )
+                    if tracer is not None:
+                        _emit_fired(
+                            tracer,
+                            gap_start,
+                            gap_length,
+                            pending[0] - gap_start,
+                            pending[1],
+                            breakeven,
+                        )
                 else:
                     stats.record_gap(gap_length, None, None, breakeven)
-            if access.pid in combiner.live_pids:
-                combiner.on_access(access, disk.busy_until)
+            if access.pid not in combiner.live_pids:
+                # A pid the trace never introduced (fork unobserved, or
+                # absent from initial_pids): register it on the spot so
+                # its accesses still feed predictor state instead of
+                # silently dropping the update.
+                if tracer is not None:
+                    tracer.emit(
+                        UnknownPidRegistered(
+                            time=access.time, pid=access.pid
+                        )
+                    )
+                combiner.process_started(access.time, access.pid)
+            combiner.on_access(access, disk.busy_until)
             pending = None
             low_power_entered = False
             window_start = disk.busy_until
@@ -287,7 +415,10 @@ def _run_local_based(
             fork = payload
             assert isinstance(fork, ForkEvent)
             try_shutdown(fork.time)
-            combiner.process_started(fork.time, fork.pid)
+            # The pid may already be live if an access preceded the fork
+            # record (fork observed late) and registered it above.
+            if fork.pid not in combiner.live_pids:
+                combiner.process_started(fork.time, fork.pid)
             window_start = max(window_start, fork.time)
         else:
             exit_event = payload
@@ -304,6 +435,15 @@ def _run_local_based(
             stats.record_gap(
                 trailing, pending[0] - gap_start, pending[1], breakeven
             )
+            if tracer is not None:
+                _emit_fired(
+                    tracer,
+                    gap_start,
+                    trailing,
+                    pending[0] - gap_start,
+                    pending[1],
+                    breakeven,
+                )
         else:
             stats.record_gap(trailing, None, None, breakeven)
     disk.finalize(end)

@@ -20,6 +20,7 @@ from repro.predictors.registry import PredictorSpec, make_spec
 from repro.config import SimulationConfig
 from repro.sim.engine import evaluate_local_stream, run_global_execution
 from repro.sim.metrics import PredictionStats
+from repro.sim.tracing import SimTraceEvent, TraceRecorder, Tracer
 from repro.traces.trace import ApplicationTrace
 
 
@@ -41,6 +42,13 @@ class ApplicationResult:
     delayed_requests: int = 0
     delay_seconds: float = 0.0
     irritating_delays: int = 0
+    #: Structured-tracing output, populated only when the run was traced:
+    #: per-kind event counters over the whole run, and the retained event
+    #: stream (ring-buffer bounded; picklable, so parallel workers ship
+    #: it back with the cell and the cell-ordered merge keeps streams
+    #: identical to a serial run).
+    trace_summary: Optional[dict[str, int]] = None
+    trace_events: tuple[SimTraceEvent, ...] = ()
 
     @property
     def energy(self) -> float:
@@ -54,9 +62,17 @@ class ExperimentRunner:
         self,
         suite: dict[str, ApplicationTrace],
         config: Optional[SimulationConfig] = None,
+        *,
+        tracing: bool = False,
+        trace_capacity: Optional[int] = None,
     ) -> None:
         self.suite = suite
         self.config = config or SimulationConfig()
+        #: When set, every run records a structured event trace into a
+        #: fresh :class:`TraceRecorder` (bounded by ``trace_capacity``)
+        #: and attaches it to the :class:`ApplicationResult`.
+        self.tracing = tracing
+        self.trace_capacity = trace_capacity
         self._filtered: dict[str, list[FilterResult]] = {}
 
     @property
@@ -71,10 +87,33 @@ class ExperimentRunner:
         knobs (wait window, timeout, history length) then cost no
         re-filtering.
         """
-        clone = ExperimentRunner(self.suite, config)
+        clone = ExperimentRunner(
+            self.suite,
+            config,
+            tracing=self.tracing,
+            trace_capacity=self.trace_capacity,
+        )
         if config.cache == self.config.cache:
             clone._filtered = self._filtered
         return clone
+
+    def _make_tracer(
+        self, tracer: Optional[Tracer]
+    ) -> tuple[Optional[Tracer], Optional[TraceRecorder]]:
+        """Resolve the effective tracer for one run.
+
+        An explicit ``tracer`` wins; otherwise the runner-level
+        ``tracing`` flag creates a per-run recorder.  Returns the tracer
+        to emit into and the recorder whose output should be attached to
+        the result (``None`` when the sink is caller-owned and opaque).
+        """
+        if tracer is not None:
+            recorder = tracer if isinstance(tracer, TraceRecorder) else None
+            return tracer, recorder
+        if self.tracing:
+            recorder = TraceRecorder(capacity=self.trace_capacity)
+            return recorder, recorder
+        return None, None
 
     def filtered(self, application: str) -> list[FilterResult]:
         """Cache-filtered executions of one application (memoized)."""
@@ -92,13 +131,17 @@ class ExperimentRunner:
         predictor: str | PredictorSpec,
         *,
         multistate: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> ApplicationResult:
         """Whole-trace global run (Figures 7–10, Table 3).
 
         ``multistate`` enables the §7 low-power-idle extension.
+        ``tracer`` (or the runner-level ``tracing`` flag) records the
+        structured decision timeline of the whole run.
         """
         trace = self._trace(application)
         spec = self._spec(predictor)
+        tracer, recorder = self._make_tracer(tracer)
         stats = PredictionStats()
         ledgers: list[EnergyBreakdown] = []
         accesses = 0
@@ -110,7 +153,7 @@ class ExperimentRunner:
         for execution, filtered in zip(trace, self.filtered(application)):
             result = run_global_execution(
                 execution, filtered, spec, self.config,
-                multistate=multistate,
+                multistate=multistate, tracer=tracer,
             )
             stats.merge(result.stats)
             ledgers.append(result.ledger)
@@ -134,10 +177,16 @@ class ExperimentRunner:
             delayed_requests=delayed,
             delay_seconds=delay_seconds,
             irritating_delays=irritating,
+            trace_summary=recorder.counts() if recorder is not None else None,
+            trace_events=recorder.events if recorder is not None else (),
         )
 
     def run_local(
-        self, application: str, predictor: str | PredictorSpec
+        self,
+        application: str,
+        predictor: str | PredictorSpec,
+        *,
+        tracer: Optional[Tracer] = None,
     ) -> ApplicationResult:
         """Per-process local evaluation (Figure 6): every process's own
         access stream is scored independently; counters are summed over
@@ -150,6 +199,7 @@ class ExperimentRunner:
                 "applies to online predictors only"
             )
         assert spec.local_factory is not None
+        tracer, recorder = self._make_tracer(tracer)
         stats = PredictionStats()
         accesses = 0
         peak_table = 0
@@ -171,6 +221,7 @@ class ExperimentRunner:
                         self.config,
                         start_time=start,
                         end_time=end,
+                        tracer=tracer,
                     )
                 )
                 accesses += len(stream)
@@ -186,6 +237,8 @@ class ExperimentRunner:
             total_disk_accesses=accesses,
             shutdowns=stats.shutdowns,
             table_size=peak_table if spec.table_size is not None else None,
+            trace_summary=recorder.counts() if recorder is not None else None,
+            trace_events=recorder.events if recorder is not None else (),
         )
 
     def run_suite(
@@ -207,7 +260,13 @@ class ExperimentRunner:
             # Imported lazily: repro.sim.parallel imports this module.
             from repro.sim.parallel import ParallelExperimentRunner
 
-            clone = ParallelExperimentRunner(self.suite, self.config, jobs=jobs)
+            clone = ParallelExperimentRunner(
+                self.suite,
+                self.config,
+                jobs=jobs,
+                tracing=self.tracing,
+                trace_capacity=self.trace_capacity,
+            )
             clone._filtered = self._filtered
             if isinstance(predictor, PredictorSpec):
                 raise SimulationError(

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.errors import SimulationError
 from repro.predictors.base import PredictorSource
+from repro.units import EPSILON
 
 
 @dataclass(slots=True)
@@ -66,10 +67,12 @@ class PredictionStats:
             return
         if source is None:
             raise SimulationError("shutdown recorded without a source")
-        if shutdown_offset > length:
+        # The engine resolves offsets with EPSILON tolerance; a legitimate
+        # boundary shutdown may land within float noise of the gap end.
+        if shutdown_offset > length + EPSILON:
             raise SimulationError("shutdown after the gap ended")
         off_window = length - shutdown_offset
-        if off_window > breakeven:
+        if off_window > breakeven + EPSILON:
             if source == PredictorSource.PRIMARY:
                 self.hits_primary += 1
             else:

@@ -204,6 +204,13 @@ class ParallelExperimentRunner(ExperimentRunner):
     in-process; :meth:`run_suite` and :meth:`run_matrix` decompose into
     cells and parallelize.  ``jobs=1`` (the default without
     ``REPRO_JOBS``) degrades to exactly the serial runner.
+
+    With ``tracing`` enabled each worker records its cell's structured
+    event stream (:mod:`repro.sim.tracing`) and the (picklable) events
+    travel back attached to the cell's
+    :class:`~repro.sim.experiment.ApplicationResult`; because results are
+    folded in cell order, the merged streams are bit-identical to a
+    serial traced run.
     """
 
     def __init__(
@@ -213,8 +220,12 @@ class ParallelExperimentRunner(ExperimentRunner):
         *,
         jobs: Optional[int] = None,
         progress: Optional[ProgressHook] = None,
+        tracing: bool = False,
+        trace_capacity: Optional[int] = None,
     ) -> None:
-        super().__init__(suite, config)
+        super().__init__(
+            suite, config, tracing=tracing, trace_capacity=trace_capacity
+        )
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
 
@@ -222,7 +233,12 @@ class ParallelExperimentRunner(ExperimentRunner):
         self, config: SimulationConfig
     ) -> "ParallelExperimentRunner":
         clone = ParallelExperimentRunner(
-            self.suite, config, jobs=self.jobs, progress=self.progress
+            self.suite,
+            config,
+            jobs=self.jobs,
+            progress=self.progress,
+            tracing=self.tracing,
+            trace_capacity=self.trace_capacity,
         )
         if config.cache == self.config.cache:
             clone._filtered = self._filtered

@@ -1,0 +1,11 @@
+"""Structured simulation tracing — public import path.
+
+The implementation lives in :mod:`repro._tracing` (outside the ``sim``
+package) so the low-level emitters can import the event types without a
+circular import through the engine; see that module for the event
+vocabulary, the :class:`~repro._tracing.TraceRecorder` sink, and the
+JSON-lines round trip.
+"""
+
+from repro._tracing import *  # noqa: F401,F403
+from repro._tracing import __all__  # noqa: F401

@@ -134,3 +134,34 @@ def test_user_errors_are_one_line_not_tracebacks(capsys, tmp_path):
     code, _, err = run_cli(capsys, "table", "1", "--scale", "0")
     assert code == 1
     assert "scale must be positive" in err
+
+
+def test_trace_subcommand(capsys, tmp_path):
+    out_file = tmp_path / "timeline.jsonl"
+    code, out, _ = run_cli(
+        capsys, "trace", "--app", "nedit", "--predictor", "PCAP",
+        "--scale", "0.2", "--out", str(out_file), "--limit", "10",
+    )
+    assert code == 0
+    assert "shutdown-fired events" in out
+    assert "(OK)" in out
+    assert out_file.exists()
+
+    from repro.sim.tracing import read_jsonl
+
+    with out_file.open() as stream:
+        events = read_jsonl(stream)
+    assert events
+    fired = sum(1 for e in events if e.kind == "shutdown-fired")
+    assert f"shutdown-fired events {fired}" in out
+
+
+def test_simulate_trace_out(capsys, tmp_path):
+    out_file = tmp_path / "sim-trace.jsonl"
+    code, out, _ = run_cli(
+        capsys, "simulate", "--app", "nedit", "--predictor", "PCAP",
+        "--scale", "0.2", "--trace-out", str(out_file),
+    )
+    assert code == 0
+    assert out_file.exists()
+    assert out_file.read_text().strip()

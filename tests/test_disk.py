@@ -145,3 +145,31 @@ def test_gap_report_fields(params):
     report = disk.serve(12.0, 0.0)
     assert report.length == pytest.approx(12.0)
     assert report.off_window == pytest.approx(10.0)
+
+
+def test_back_to_back_request_cancels_pending_shutdown(params):
+    """Regression: a shutdown pending in a gap swallowed by a
+    back-to-back request must not leak into the next gap."""
+    disk = SimulatedDisk(params)
+    disk.serve(0.0, 1.0)  # busy until 1.0
+    disk.schedule_shutdown(5.0)  # pending in the anticipated gap
+    disk.serve(0.5, 1.0)  # back-to-back: the gap never happens
+    report = disk.serve(100.0, 0.0)  # the next real gap (2.0 -> 100.0)
+    assert report is not None
+    assert report.shutdown_at is None
+    assert disk.shutdown_count == 0
+    disk.finalize()
+    assert disk.ledger.power_cycle == 0.0
+    assert disk.ledger.standby == pytest.approx(0.0)
+
+
+def test_back_to_back_cancellation_is_traced(params):
+    from repro.sim.tracing import TraceRecorder
+
+    recorder = TraceRecorder()
+    disk = SimulatedDisk(params, tracer=recorder)
+    disk.serve(0.0, 1.0)
+    disk.schedule_shutdown(5.0)
+    disk.serve(0.5, 1.0)
+    kinds = [event.kind for event in recorder.events]
+    assert "shutdown-cancel" in kinds

@@ -185,3 +185,44 @@ def test_energy_conservation_against_closed_form(config):
     busy = 2 * service * config.disk.busy_power
     idle = (30.0 - 2 * service) * config.disk.idle_power
     assert result.ledger.total == pytest.approx(busy + idle)
+
+
+def test_access_from_unregistered_pid_feeds_predictor(config):
+    """Regression: an access whose pid the trace never introduced (fork
+    unobserved / absent from initial_pids) must register the pid and
+    feed its predictor instead of silently dropping the update."""
+    from repro.sim.tracing import TraceRecorder
+
+    execution, filtered = _execution_and_accesses(
+        [(0.0, 100, 1), (5.0, 200, 2), (80.0, 200, 2), (100.0, 100, 1)],
+        end_time=100.0, pids=(100,),
+    )
+    recorder = TraceRecorder()
+    result = run_global_execution(
+        execution, filtered, make_spec("TP", config), config,
+        tracer=recorder,
+    )
+    unknown = [e for e in recorder.events if e.kind == "unknown-pid"]
+    assert [e.pid for e in unknown] == [200]
+    # Pid 200's standing timeout intent now gates the global decision:
+    # the shutdown in the 5->80 gap fires ~10 s after *its* access (t~15),
+    # not ~10 s after pid 100's earlier one.
+    fired = [e for e in recorder.events if e.kind == "shutdown-fired"]
+    assert fired, "expected a shutdown in the long gap"
+    assert fired[0].time == pytest.approx(15.0, abs=0.1)
+    assert result.stats.shutdowns == len(fired)
+
+
+def test_fork_observed_after_first_access(config):
+    """A fork record arriving after the pid's first access (out-of-order
+    capture) must not crash on double registration."""
+    execution, filtered = _execution_and_accesses(
+        [(0.0, 100, 1), (5.0, 200, 2), (100.0, 100, 1)],
+        end_time=100.0, pids=(100,),
+        forks=[ForkEvent(time=6.0, pid=200, parent_pid=100)],
+        exits=[ExitEvent(time=100.0, pid=100)],
+    )
+    result = run_global_execution(
+        execution, filtered, make_spec("TP", config), config
+    )
+    assert result.disk_accesses == 3

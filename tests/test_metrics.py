@@ -107,3 +107,28 @@ def test_protocol_violations_rejected():
         stats.record_gap(10.0, 1.0, None, BE)  # shutdown without source
     with pytest.raises(SimulationError):
         stats.record_gap(10.0, 11.0, PRIMARY, BE)  # shutdown after gap end
+
+
+def test_boundary_shutdown_offset_within_epsilon_tolerated():
+    """Regression: the engine resolves offsets with EPSILON tolerance,
+    so an offset landing within float noise of the gap end must be
+    accounted (as a zero-off-window miss), not raise."""
+    stats = PredictionStats()
+    stats.record_gap(10.0, 10.0 + 5e-10, BACKUP, BE)
+    assert stats.misses_backup == 1
+
+
+def test_shutdown_clearly_after_gap_still_raises():
+    stats = PredictionStats()
+    with pytest.raises(SimulationError):
+        stats.record_gap(10.0, 10.1, BACKUP, BE)
+
+
+def test_hit_boundary_is_epsilon_consistent():
+    """An off-window within EPSILON of breakeven is not a hit (it saved
+    no energy), matching the disk ledger's classification."""
+    stats = PredictionStats()
+    stats.record_gap(BE + 1.0, 1.0 - 5e-10, PRIMARY, BE)
+    assert stats.misses_primary == 1
+    stats.record_gap(BE + 1.0, 0.5, PRIMARY, BE)
+    assert stats.hits_primary == 1

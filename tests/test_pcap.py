@@ -199,3 +199,38 @@ def test_initial_intent_is_backup():
     intent = pcap.initial_intent(0.0)
     assert intent.source == PredictorSource.BACKUP
     assert intent.delay == pytest.approx(10.0)
+
+
+def test_trailing_idle_does_not_retrain_stale_key():
+    """Regression: after a LONG idle trains (or verifies) the pending
+    key, a following idle period with no intervening I/O — e.g. the
+    trailing gap before process exit — must not retrain the stale key."""
+    from repro.sim.tracing import TraceRecorder
+
+    table = PredictionTable()
+    pcap = make_pcap(table)
+    recorder = TraceRecorder()
+    pcap.bind_tracing(recorder, 100)
+    feed_burst(pcap, [PC1])
+    long_idle(pcap, 0.1, 100.0)
+    long_idle(pcap, 100.0, 200.0)  # trailing gap, no access in between
+    trains = [e for e in recorder.events if e.kind == "table-train"]
+    assert len(trains) == 1
+    assert len(table) == 1
+
+
+def test_pcap_emits_lookup_and_history_events():
+    from repro.sim.tracing import TraceRecorder
+
+    table = PredictionTable()
+    pcap = make_pcap(table, history_length=2)
+    recorder = TraceRecorder()
+    pcap.bind_tracing(recorder, 42)
+    feed_burst(pcap, [PC1, PC2])
+    long_idle(pcap, 0.2, 50.0)
+    kinds = [e.kind for e in recorder.events]
+    assert kinds.count("sig-lookup") == 2
+    assert "table-train" in kinds
+    assert "history" in kinds
+    lookup = recorder.events[0]
+    assert lookup.pid == 42 and lookup.hit is False
