@@ -6,17 +6,27 @@ accesses."  :func:`filter_execution` implements exactly that step: it
 replays an :class:`~repro.traces.trace.ExecutionTrace` through a
 :class:`~repro.cache.page_cache.PageCache` and emits the time-ordered
 :class:`DiskAccess` stream the predictors and the energy simulator see.
+
+Because the same :class:`FilterResult` is replayed many times (once per
+predictor, per sweep point, per figure), it memoizes its derived views —
+the per-process grouping, the access-time list, and the columnar
+(:mod:`repro.sim.columnar`) representation the engine's hot loops
+consume.  The memos are dropped on pickling (workers and the artifact
+cache rebuild them lazily).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.cache.page_cache import CacheConfig, CacheStats, PageCache, WriteBack
 from repro.cache.writeback import coalesce_writebacks
 from repro.traces.events import AccessType, IOEvent
 from repro.traces.trace import ExecutionTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.sim.columnar import ColumnarAccesses
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,12 +42,34 @@ class DiskAccess:
     #: Number of blocks moved (1+ for reads; coalesced count for flushes).
     block_count: int = 1
 
+    def __reduce__(self):
+        # Positional reconstruction: same rationale as the trace events
+        # (filtered streams are pickled by workers and the artifact
+        # cache; the generic slots-dataclass path is far slower).
+        return (
+            DiskAccess,
+            (
+                self.time, self.pid, self.pc, self.fd, self.kind,
+                self.inode, self.block_count,
+            ),
+        )
+
     @property
     def is_flush(self) -> bool:
         return self.kind == AccessType.FLUSH
 
 
-@dataclass(slots=True)
+#: The fields of :class:`FilterResult` that constitute its value; the
+#: remaining slots are lazily-built memos (dropped on pickling).
+_FILTER_RESULT_STATE = (
+    "application",
+    "execution_index",
+    "accesses",
+    "cache_stats",
+)
+
+
+@dataclass(slots=True, eq=False)
 class FilterResult:
     """Disk accesses of one execution plus cache statistics."""
 
@@ -45,16 +77,62 @@ class FilterResult:
     execution_index: int
     accesses: list[DiskAccess] = field(default_factory=list)
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Memoized derived views (see module docstring).  Never part of the
+    #: value: excluded from pickling and equality.
+    _per_process: Optional[dict[int, list[DiskAccess]]] = field(
+        default=None, repr=False
+    )
+    _access_times: Optional[list[float]] = field(default=None, repr=False)
+    _columnar: Optional["ColumnarAccesses"] = field(default=None, repr=False)
+    #: Merged engine schedule memo: (execution, schedule) — see
+    #: :func:`repro.sim.engine.merged_schedule`.  Holding the execution
+    #: reference keeps the pairing unambiguous.
+    _schedule: Optional[tuple[ExecutionTrace, list]] = field(
+        default=None, repr=False
+    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FilterResult):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in _FILTER_RESULT_STATE
+        )
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in _FILTER_RESULT_STATE}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for name in _FILTER_RESULT_STATE:
+            setattr(self, name, state[name])
+        self._per_process = None
+        self._access_times = None
+        self._columnar = None
+        self._schedule = None
 
     def per_process(self) -> dict[int, list[DiskAccess]]:
-        grouped: dict[int, list[DiskAccess]] = {}
-        for access in self.accesses:
-            grouped.setdefault(access.pid, []).append(access)
-        return grouped
+        """Accesses grouped by pid, in stream order (memoized)."""
+        if self._per_process is None:
+            grouped: dict[int, list[DiskAccess]] = {}
+            for access in self.accesses:
+                grouped.setdefault(access.pid, []).append(access)
+            self._per_process = grouped
+        return self._per_process
 
     @property
     def access_times(self) -> list[float]:
-        return [access.time for access in self.accesses]
+        """Arrival times of the stream (memoized; do not mutate)."""
+        if self._access_times is None:
+            self._access_times = [access.time for access in self.accesses]
+        return self._access_times
+
+    def columnar(self) -> "ColumnarAccesses":
+        """The columnar view of the stream (built once, memoized)."""
+        if self._columnar is None:
+            from repro.sim.columnar import ColumnarAccesses
+
+            self._columnar = ColumnarAccesses.from_accesses(self.accesses)
+        return self._columnar
 
 
 def _flush_records_to_accesses(writebacks: list[WriteBack]) -> list[DiskAccess]:
@@ -85,47 +163,62 @@ def filter_execution(
         application=execution.application,
         execution_index=execution.execution_index,
     )
+    # Hot loop: bound methods and the accesses list are bound to locals,
+    # and the (overwhelmingly common) empty write-back batches skip the
+    # coalescing machinery entirely.
+    accesses = result.accesses
+    append = accesses.append
+    extend = accesses.extend
+    advance = cache.advance
+    cache_read = cache.read
+    cache_write = cache.write
+    read_kinds = (AccessType.READ, AccessType.OPEN)
     for event in execution.events:
         if not isinstance(event, IOEvent):
             continue
-        daemon_writebacks = cache.advance(event.time)
-        result.accesses.extend(_flush_records_to_accesses(daemon_writebacks))
-        if event.kind in (AccessType.READ, AccessType.OPEN):
-            missed, forced = cache.read(
+        daemon_writebacks = advance(event.time)
+        if daemon_writebacks:
+            extend(_flush_records_to_accesses(daemon_writebacks))
+        kind = event.kind
+        if kind in read_kinds:
+            missed, forced = cache_read(
                 event.time, event.inode, event.blocks, pc=event.pc
             )
-            result.accesses.extend(_flush_records_to_accesses(forced))
+            if forced:
+                extend(_flush_records_to_accesses(forced))
             if missed:
-                result.accesses.append(
+                append(
                     DiskAccess(
                         time=event.time,
                         pid=event.pid,
                         pc=event.pc,
                         fd=event.fd,
-                        kind=event.kind,
+                        kind=kind,
                         inode=event.inode,
                         block_count=len(missed),
                     )
                 )
-        elif event.kind == AccessType.WRITE:
-            forced = cache.write(
+        elif kind == AccessType.WRITE:
+            forced = cache_write(
                 event.time, event.inode, event.blocks, event.pid,
                 pc=event.pc,
             )
-            result.accesses.extend(_flush_records_to_accesses(forced))
-        elif event.kind == AccessType.SYNC_WRITE:
+            if forced:
+                extend(_flush_records_to_accesses(forced))
+        elif kind == AccessType.SYNC_WRITE:
             # Write-through: straight to disk, cached clean.
-            missed, forced = cache.read(
+            missed, forced = cache_read(
                 event.time, event.inode, event.blocks, pc=event.pc
             )
-            result.accesses.extend(_flush_records_to_accesses(forced))
-            result.accesses.append(
+            if forced:
+                extend(_flush_records_to_accesses(forced))
+            append(
                 DiskAccess(
                     time=event.time,
                     pid=event.pid,
                     pc=event.pc,
                     fd=event.fd,
-                    kind=event.kind,
+                    kind=kind,
                     inode=event.inode,
                     block_count=max(1, event.block_count),
                 )
@@ -133,8 +226,9 @@ def filter_execution(
         # CLOSE (and blockless events) generate no disk traffic.
     if flush_on_exit and execution.events:
         final = cache.flush_now(execution.end_time)
-        result.accesses.extend(_flush_records_to_accesses(final))
-    result.accesses.sort(key=lambda access: access.time)
+        if final:
+            extend(_flush_records_to_accesses(final))
+    accesses.sort(key=lambda access: access.time)
     result.cache_stats = cache.stats
     return result
 

@@ -14,6 +14,10 @@ from typing import Generic, Hashable, Iterator, Optional, TypeVar
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: Internal miss sentinel so ``get`` costs one dict probe on a miss and
+#: two on a hit (the page cache calls it once per block touched).
+_MISSING: object = object()
+
 
 class LRUMapping(Generic[K, V]):
     """Mapping with least-recently-used eviction at a fixed capacity.
@@ -41,14 +45,29 @@ class LRUMapping(Generic[K, V]):
 
     def get(self, key: K) -> Optional[V]:
         """Value for ``key`` (refreshing its recency), or ``None``."""
-        if key not in self._entries:
+        entries = self._entries
+        value = entries.get(key, _MISSING)
+        if value is _MISSING:
             return None
-        self._entries.move_to_end(key)
-        return self._entries[key]
+        entries.move_to_end(key)
+        return value  # type: ignore[return-value]
 
     def peek(self, key: K) -> Optional[V]:
         """Value for ``key`` without refreshing recency."""
         return self._entries.get(key)
+
+    def touch(self, key: K) -> bool:
+        """Refresh ``key``'s recency; True when present.
+
+        One membership probe cheaper than ``get`` for membership-style
+        values (the prediction table stores ``None`` values, so ``get``
+        cannot distinguish a hit from a miss anyway).
+        """
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return True
+        return False
 
     def put(self, key: K, value: V) -> Optional[tuple[K, V]]:
         """Insert/update ``key``; returns the evicted ``(key, value)`` pair

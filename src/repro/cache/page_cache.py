@@ -102,13 +102,24 @@ class PageCache:
         """
         missed: list[int] = []
         forced: list[WriteBack] = []
+        # Hot loop (once per block of every read): bind lookups to locals.
+        blocks_get = self._blocks.get
+        stats = self.stats
+        insert = self._insert
+        missed_append = missed.append
+        hits = 0
+        misses = 0
         for block in blocks:
-            if self._blocks.get(block) is not None:
-                self.stats.read_hits += 1
+            if blocks_get(block) is not None:
+                hits += 1
                 continue
-            self.stats.read_misses += 1
-            missed.append(block)
-            forced.extend(self._insert(time, block, CachedBlock(inode=inode)))
+            misses += 1
+            missed_append(block)
+            evicted = insert(time, block, CachedBlock(inode=inode))
+            if evicted:
+                forced.extend(evicted)
+        stats.read_hits += hits
+        stats.read_misses += misses
         return missed, forced
 
     def write(
@@ -121,16 +132,22 @@ class PageCache:
         :meth:`read`.
         """
         forced: list[WriteBack] = []
+        blocks_get = self._blocks.get
+        insert = self._insert
+        writes = 0
         for block in blocks:
-            self.stats.writes += 1
-            entry = self._blocks.get(block)
+            writes += 1
+            entry = blocks_get(block)
             if entry is None:
                 entry = CachedBlock(inode=inode)
-                forced.extend(self._insert(time, block, entry))
+                evicted = insert(time, block, entry)
+                if evicted:
+                    forced.extend(evicted)
             if not entry.dirty:
                 entry.dirty = True
                 entry.dirty_since = time
                 entry.dirty_pid = pid
+        self.stats.writes += writes
         return forced
 
     def advance(self, time: float) -> list[WriteBack]:

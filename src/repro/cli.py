@@ -47,6 +47,10 @@ from repro.analysis.timeline import render_timeline, render_trace_summary
 from repro.config import SimulationConfig
 from repro.errors import ReproError
 from repro.predictors.registry import KNOWN_PREDICTORS
+from repro.sim.artifact_cache import (
+    generated_suite_fingerprints,
+    resolve_cache,
+)
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.parallel import ParallelExperimentRunner, stderr_progress
 from repro.sim.tracing import TraceRecorder, write_jsonl
@@ -61,11 +65,23 @@ from repro.workloads import APPLICATIONS, build_suite
 
 
 def _runner(args, applications: Optional[tuple[str, ...]] = None):
+    cache = resolve_cache(getattr(args, "cache_dir", None))
     suite = build_suite(
-        scale=args.scale, applications=applications or APPLICATIONS
+        scale=args.scale,
+        applications=applications or APPLICATIONS,
+        cache=cache,
     )
     jobs = getattr(args, "jobs", None)
-    runner = ParallelExperimentRunner(suite, SimulationConfig(), jobs=jobs)
+    runner = ParallelExperimentRunner(
+        suite, SimulationConfig(), jobs=jobs, artifact_cache=cache
+    )
+    if cache is not None:
+        # The suite came from the deterministic generator: its trace
+        # cache keys double as content fingerprints, skipping a
+        # per-event hashing pass per application.
+        runner.declare_fingerprints(
+            generated_suite_fingerprints(args.scale, tuple(suite))
+        )
     if runner.jobs > 1 and getattr(args, "progress", False):
         runner.progress = stderr_progress
     return runner
@@ -257,6 +273,60 @@ def _cmd_import_strace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf import (
+        DEFAULT_TOLERANCE,
+        PerfReport,
+        compare_reports,
+        render_report,
+        run_benchmarks,
+    )
+
+    report = run_benchmarks(quick=args.quick)
+    baseline = None
+    if args.baseline and not args.update_baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as stream:
+                baseline = PerfReport.from_json(stream.read())
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}; skipping the gate",
+                  file=sys.stderr)
+    print(render_report(report, baseline))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(report.to_json())
+        print(f"wrote {args.out}")
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as stream:
+            stream.write(report.to_json())
+        print(f"updated baseline {args.baseline}")
+        return 0
+    if baseline is None:
+        return 0
+    try:
+        regressions = compare_reports(
+            report, baseline, tolerance=args.tolerance
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    tolerance = args.tolerance if args.tolerance is not None else (
+        DEFAULT_TOLERANCE
+    )
+    if regressions:
+        for item in regressions:
+            print(
+                f"REGRESSION: {item.name} throughput dropped "
+                f"{item.drop:.1%} (baseline {item.baseline_ops:.1f} ops/s, "
+                f"now {item.current_ops:.1f} ops/s; tolerance "
+                f"{tolerance:.0%})",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"perf gate OK (tolerance {tolerance:.0%})")
+    return 0
+
+
 def _cmd_inspect(args) -> int:
     with open(args.input, "r", encoding="utf-8") as stream:
         trace = read_application_trace(stream)
@@ -292,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--progress", action="store_true",
                        help="report per-cell progress on stderr when "
                             "running in parallel")
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist generated traces and filter results "
+                            "in DIR (default: $REPRO_CACHE_DIR; unset "
+                            "disables the artifact cache)")
 
     p = sub.add_parser("reproduce", help="all tables, figures, and checks")
     add_scale(p)
@@ -363,6 +437,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="summarize a trace file")
     p.add_argument("input")
     p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the throughput benchmarks and the perf-regression gate",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small workload (CI perf-smoke mode)")
+    p.add_argument("--out", metavar="FILE", default="BENCH_engine.json",
+                   help="write the machine-readable report "
+                        "(default: BENCH_engine.json; empty disables)")
+    p.add_argument("--baseline", metavar="FILE",
+                   default="benchmarks/BENCH_engine.json",
+                   help="baseline report to gate against "
+                        "(default: benchmarks/BENCH_engine.json)")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="relative throughput drop that fails the gate "
+                        "(default: 0.30)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write this run's report as the new baseline "
+                        "instead of gating")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -29,6 +29,7 @@ from repro._tracing import ProcessExited, ProcessStarted
 from repro.cache.filter import DiskAccess
 from repro.errors import SimulationError
 from repro.predictors.base import (
+    IdleClass,
     IdleFeedback,
     LocalPredictor,
     PredictorSource,
@@ -76,6 +77,11 @@ class GlobalShutdownPredictor:
     @property
     def live_pids(self) -> set[int]:
         return set(self._slots)
+
+    def is_live(self, pid: int) -> bool:
+        """Whether ``pid`` currently has a slot (no set is materialized —
+        this is the hot-path liveness check of the engine's replay loop)."""
+        return pid in self._slots
 
     def local_predictor(self, pid: int) -> LocalPredictor:
         return self._slots[pid].predictor
@@ -134,24 +140,27 @@ class GlobalShutdownPredictor:
             raise SimulationError(
                 f"access from pid {access.pid} which is not live"
             )
+        predictor = slot.predictor
+        last_busy_end = slot.last_busy_end
         gap_start = (
-            slot.last_busy_end
-            if slot.last_busy_end is not None
-            else slot.started_at
+            last_busy_end if last_busy_end is not None else slot.started_at
         )
-        gap_length = max(0.0, access.time - gap_start)
+        time = access.time
+        gap_length = time - gap_start
         if gap_length > 1e-9:
-            slot.predictor.on_idle_end(
-                IdleFeedback(
-                    start=gap_start,
-                    end=access.time,
-                    idle_class=classify_gap(
-                        gap_length, self.wait_window, self.breakeven
-                    ),
-                )
+            # classify_gap inlined: this runs once per disk access.
+            if gap_length > self.breakeven:
+                idle_class = IdleClass.LONG
+            elif gap_length > self.wait_window:
+                idle_class = IdleClass.SHORT
+            else:
+                idle_class = IdleClass.SUB_WINDOW
+            predictor.on_idle_end(
+                IdleFeedback(start=gap_start, end=time, idle_class=idle_class)
             )
-        intent = slot.predictor.on_access(access)
-        slot.ready_time = self._absolute(intent, busy_end)
+        intent = predictor.on_access(access)
+        delay = intent.delay
+        slot.ready_time = None if delay is None else busy_end + delay
         slot.source = intent.source
         slot.last_busy_end = busy_end
 
@@ -163,18 +172,21 @@ class GlobalShutdownPredictor:
         a ready time of minus infinity that the engine clamps to the
         interval start.
         """
-        if not self._slots:
+        slots = self._slots
+        if not slots:
             return GlobalDecision(
                 ready_time=float("-inf"), source=PredictorSource.PRIMARY
             )
-        latest: Optional[_ProcessSlot] = None
-        for slot in self._slots.values():
-            if slot.ready_time is None:
+        latest_time: Optional[float] = None
+        latest_source = PredictorSource.PRIMARY
+        for slot in slots.values():
+            ready = slot.ready_time
+            if ready is None:
                 return None
-            if latest is None or slot.ready_time > latest.ready_time:
-                latest = slot
-        assert latest is not None and latest.ready_time is not None
-        return GlobalDecision(ready_time=latest.ready_time, source=latest.source)
+            if latest_time is None or ready > latest_time:
+                latest_time = ready
+                latest_source = slot.source
+        return GlobalDecision(ready_time=latest_time, source=latest_source)
 
     @staticmethod
     def _absolute(intent: ShutdownIntent, anchor: float) -> Optional[float]:

@@ -26,6 +26,7 @@ class IdleHistoryRegister:
             raise ValueError("history length must be positive")
         self.length = length
         self._bits: tuple[int, ...] = ()
+        self._packed = 1
 
     def record(self, idle_class: IdleClass) -> None:
         """Record one finished idle period (sub-window periods ignored)."""
@@ -33,22 +34,29 @@ class IdleHistoryRegister:
             return
         bit = 1 if idle_class == IdleClass.LONG else 0
         self._bits = (self._bits + (bit,))[-self.length :]
+        self._packed = self._pack()
 
     @property
     def bits(self) -> tuple[int, ...]:
         """Current history, oldest first (length 0..``length``)."""
         return self._bits
 
-    def as_int(self) -> int:
-        """The bits packed into an integer with a length marker.
-
-        Packing ``(len, bits)`` into one int keeps keys hashable and
-        distinguishes e.g. history ``(0,)`` from ``(0, 0)``.
-        """
+    def _pack(self) -> int:
         value = 1  # sentinel high bit encodes the length
         for bit in self._bits:
             value = (value << 1) | bit
         return value
 
+    def as_int(self) -> int:
+        """The bits packed into an integer with a length marker.
+
+        Packing ``(len, bits)`` into one int keeps keys hashable and
+        distinguishes e.g. history ``(0,)`` from ``(0, 0)``.  Maintained
+        incrementally: the register is read once per access but written
+        only once per idle period, so the packed value is cached.
+        """
+        return self._packed
+
     def clear(self) -> None:
         self._bits = ()
+        self._packed = 1

@@ -91,6 +91,18 @@ class PCAPPredictor(LocalPredictor):
         #: Whether the standing intent is a primary (table-match) shutdown;
         #: used to train the confidence estimator on actual outcomes.
         self._pending_primary = False
+        # Intents are immutable and parameter-determined: build each once
+        # instead of once per access (the engine hot path).
+        self._primary_intent = ShutdownIntent(
+            delay=wait_window, source=PredictorSource.PRIMARY
+        )
+        self._backup = (
+            ShutdownIntent.never()
+            if backup_timeout is None
+            else ShutdownIntent(
+                delay=backup_timeout, source=PredictorSource.BACKUP
+            )
+        )
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -119,7 +131,19 @@ class PCAPPredictor(LocalPredictor):
 
     def on_access(self, access: DiskAccess) -> ShutdownIntent:
         signature = self._signature.observe(access.pc)
-        key = self._make_key(signature, access)
+        # Inlined _make_key: this runs once per disk access and the key
+        # shape is fixed at construction time.
+        history = self._history
+        if history is None:
+            key: Hashable = (
+                (signature, access.fd)
+                if self.use_file_descriptor
+                else signature
+            )
+        elif self.use_file_descriptor:
+            key = (signature, history.as_int(), access.fd)
+        else:
+            key = (signature, history.as_int())
         self._pending_key = key
         matched = self.table.lookup(key)
         if self.tracer is not None:
@@ -133,11 +157,9 @@ class PCAPPredictor(LocalPredictor):
             )
         if matched and (self.confidence is None or self.confidence.allows(key)):
             self._pending_primary = True
-            return ShutdownIntent(
-                delay=self.wait_window, source=PredictorSource.PRIMARY
-            )
+            return self._primary_intent
         self._pending_primary = False
-        return self._backup_intent()
+        return self._backup
 
     def on_idle_end(self, feedback: IdleFeedback) -> None:
         if feedback.idle_class == IdleClass.SUB_WINDOW:
@@ -195,8 +217,4 @@ class PCAPPredictor(LocalPredictor):
         return key
 
     def _backup_intent(self) -> ShutdownIntent:
-        if self.backup_timeout is None:
-            return ShutdownIntent.never()
-        return ShutdownIntent(
-            delay=self.backup_timeout, source=PredictorSource.BACKUP
-        )
+        return self._backup

@@ -57,11 +57,11 @@ class PredictionTable:
 
     def lookup(self, key: TableKey) -> bool:
         """True when ``key`` is trained (refreshes LRU recency)."""
-        self.stats.lookups += 1
-        found = key in self._entries
+        stats = self.stats
+        stats.lookups += 1
+        found = self._entries.touch(key)
         if found:
-            self._entries.get(key)  # refresh LRU recency
-            self.stats.matches += 1
+            stats.matches += 1
         return found
 
     def train(self, key: TableKey) -> bool:

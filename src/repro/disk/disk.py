@@ -96,7 +96,8 @@ class SimulatedDisk:
         Returns the :class:`GapReport` of the idle gap the request ended,
         or ``None`` when the disk was still busy (no gap).
         """
-        self._check_open()
+        if self._finalized:
+            raise DiskStateError("disk already finalized")
         if duration < 0:
             raise ValueError("request duration must be non-negative")
         if time < self._last_arrival - EPSILON:
@@ -181,18 +182,22 @@ class SimulatedDisk:
         self, report: GapReport, request_follows: bool = True
     ) -> None:
         params = self.params
-        long_period = report.length > self._breakeven
-        if report.shutdown_at is None:
-            self.ledger.add_idle(
-                params.idle_power * report.length, long_period=long_period
+        ledger = self.ledger
+        start = report.start
+        end = report.end
+        shutdown_at = report.shutdown_at
+        long_period = end - start > self._breakeven
+        if shutdown_at is None:
+            ledger.add_idle(
+                params.idle_power * (end - start), long_period=long_period
             )
             return
-        on_idle = report.shutdown_at - report.start
-        self.ledger.add_idle(params.idle_power * on_idle, long_period=long_period)
-        self.ledger.add_power_cycle(params.cycle_energy)
-        off_window = report.end - report.shutdown_at
+        on_idle = shutdown_at - start
+        ledger.add_idle(params.idle_power * on_idle, long_period=long_period)
+        ledger.add_power_cycle(params.cycle_energy)
+        off_window = end - shutdown_at
         residence = max(0.0, off_window - params.transition_time)
-        self.ledger.add_standby(
+        ledger.add_standby(
             params.standby_power * residence, long_period=long_period
         )
         self.shutdown_count += 1
@@ -202,7 +207,7 @@ class SimulatedDisk:
         # gap (trace end) has no following request and delays nobody.
         if request_follows:
             remaining_spin_down = max(
-                0.0, (report.shutdown_at + params.shutdown_time) - report.end
+                0.0, (shutdown_at + params.shutdown_time) - end
             )
             self.delayed_requests += 1
             wait = params.spinup_time + remaining_spin_down

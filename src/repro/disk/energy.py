@@ -34,11 +34,16 @@ class EnergyBreakdown:
     #: standby state (already included in idle_short/idle_long).
     standby: float = 0.0
 
+    # The non_negative guard is inlined on the fast path: these run once
+    # per disk access / idle gap, and for a non-negative value the clamp
+    # is the identity, so `joules >= 0.0` adds the bit-identical amount.
+
     def add_busy(self, joules: float) -> None:
-        self.busy += non_negative(joules)
+        self.busy += joules if joules >= 0.0 else non_negative(joules)
 
     def add_idle(self, joules: float, *, long_period: bool) -> None:
-        joules = non_negative(joules)
+        if joules < 0.0:
+            joules = non_negative(joules)
         if long_period:
             self.idle_long += joules
         else:
@@ -46,12 +51,13 @@ class EnergyBreakdown:
 
     def add_standby(self, joules: float, *, long_period: bool) -> None:
         """Standby residence: charged to an idle bucket and tracked."""
-        joules = non_negative(joules)
+        if joules < 0.0:
+            joules = non_negative(joules)
         self.standby += joules
         self.add_idle(joules, long_period=long_period)
 
     def add_power_cycle(self, joules: float) -> None:
-        self.power_cycle += non_negative(joules)
+        self.power_cycle += joules if joules >= 0.0 else non_negative(joules)
 
     @property
     def total(self) -> float:

@@ -1,5 +1,11 @@
 """Trace-driven simulation: configuration, engine, metrics, experiments."""
 
+from repro.sim.artifact_cache import (
+    ArtifactCache,
+    resolve_cache,
+    trace_fingerprint,
+)
+from repro.sim.columnar import ColumnarAccesses
 from repro.sim.config import SimulationConfig, paper_config
 from repro.sim.engine import (
     ExecutionRunResult,
@@ -29,6 +35,10 @@ from repro.sim.tracing import (
 
 __all__ = [
     "ApplicationResult",
+    "ArtifactCache",
+    "ColumnarAccesses",
+    "resolve_cache",
+    "trace_fingerprint",
     "SimTraceEvent",
     "TraceRecorder",
     "read_jsonl",

@@ -1,0 +1,379 @@
+"""Persistent, content-addressed artifact cache for deterministic stages.
+
+Two stages of every experiment are deterministic pure functions of their
+inputs and dominate cold-start wall clock: workload trace generation
+(:func:`repro.workloads.build_application`) and page-cache filtering
+(:func:`repro.cache.filter.filter_execution`).  This module caches both
+on disk so repeated runs — locally, in CI, and across the fork pool's
+worker processes — skip straight to the simulation:
+
+* **Content addressing.**  Entries are keyed by a BLAKE2b digest over
+  every input that determines the output: the application name and scale
+  plus a schema version for generated traces; a fingerprint of the trace
+  events plus the cache configuration plus a schema version for filtered
+  results.  Changing any input (or bumping :data:`SCHEMA_VERSION` when
+  the artifact layout changes) changes the key, so stale entries are
+  never *read* — they are simply orphaned.
+* **Atomic writes, lock-free reads.**  A store writes to a private
+  temporary file in the cache directory and publishes it with
+  :func:`os.replace`, which is atomic on POSIX — a reader sees either
+  the complete entry or nothing.  Concurrent writers of the same key
+  (parallel workers racing on a cold cache) each publish an identical
+  artifact; last rename wins and no locking is needed.
+* **Corruption recovery.**  A truncated or unreadable entry (killed
+  writer that bypassed the temp-file protocol, disk corruption) is
+  treated as a miss: the entry is unlinked best-effort and the caller
+  recomputes and rewrites it.
+
+The cache is opt-in: pass ``--cache-dir`` on the CLI or set the
+``REPRO_CACHE_DIR`` environment variable.  Cached artifacts are the
+pickles of exactly the objects the uncached path builds, so simulation
+results are bit-identical with the cache on or off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.cache.page_cache import CacheConfig
+from repro.traces.events import (
+    AccessType,
+    ExitEvent,
+    ForkEvent,
+    IOEvent,
+    TraceEvent,
+)
+from repro.traces.trace import ApplicationTrace, ExecutionTrace
+
+#: Bump whenever the pickled artifact layout (or the meaning of a key
+#: component) changes; old entries are orphaned rather than misread.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Pickle protocol pinned for stable artifact bytes across interpreters.
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass(slots=True)
+class ArtifactCacheStats:
+    """Counters of one :class:`ArtifactCache` instance (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries found on disk but unreadable (treated as misses).
+    corrupt: int = 0
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with atomic writes.
+
+    The two-level directory layout (``ab/abcdef….pkl``) keeps directory
+    sizes bounded; keys are hex digests produced by the ``*_key``
+    functions in this module.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = ArtifactCacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        Any failure to read or unpickle counts as a miss; the offending
+        entry is removed best-effort so the recompute can replace it.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as stream:
+                value = pickle.load(stream)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish ``value`` under ``key`` atomically (rename into place)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(value, stream, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and storing on a miss."""
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def get_trace(self, key: str) -> Optional[ApplicationTrace]:
+        """A cached application trace, or ``None`` (see the trace codec)."""
+        hit, payload = self.get(key)
+        if not hit:
+            return None
+        try:
+            return decode_trace(payload)
+        except (TypeError, ValueError, KeyError, IndexError,
+                AttributeError, StopIteration):
+            # The entry unpickled but is not a valid trace payload:
+            # treat like any other corruption.
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                os.unlink(self.path_for(key))
+            except OSError:
+                pass
+            return None
+
+    def put_trace(self, key: str, trace: ApplicationTrace) -> None:
+        """Store an application trace in the columnar cache encoding."""
+        self.put(key, encode_trace(trace))
+
+
+# --------------------------------------------------------------------------
+# Columnar trace codec.
+#
+# A full suite holds ~10^6 event objects; pickling the object graph costs
+# several microseconds per event on load (per-object reduce machinery)
+# which dominates warm starts.  Trace entries are therefore stored as flat
+# per-field columns — pickled at C speed — plus a per-event type-code
+# string, and events are rebuilt in one tight loop.  Reconstruction
+# assigns slots directly (the values were validated when the trace was
+# generated; a corrupted entry almost surely fails the unpickle itself and
+# is handled as a miss).
+
+_ACCESS_KIND_BY_VALUE = {kind.value: kind for kind in AccessType}
+
+
+def _encode_execution(execution: ExecutionTrace) -> tuple:
+    codes = bytearray()
+    io_cols: tuple[list, ...] = ([], [], [], [], [], [], [], [])
+    fork_cols: tuple[list, ...] = ([], [], [])
+    exit_cols: tuple[list, ...] = ([], [])
+    for event in execution.events:
+        kind = type(event)
+        if kind is IOEvent:
+            codes.append(0)
+            time, pid, pc, fd, acc, inode, bs, bc = io_cols
+            time.append(event.time)
+            pid.append(event.pid)
+            pc.append(event.pc)
+            fd.append(event.fd)
+            acc.append(event.kind.value)
+            inode.append(event.inode)
+            bs.append(event.block_start)
+            bc.append(event.block_count)
+        elif kind is ForkEvent:
+            codes.append(1)
+            fork_cols[0].append(event.time)
+            fork_cols[1].append(event.pid)
+            fork_cols[2].append(event.parent_pid)
+        else:
+            codes.append(2)
+            exit_cols[0].append(event.time)
+            exit_cols[1].append(event.pid)
+    return (
+        execution.application,
+        execution.execution_index,
+        tuple(sorted(execution.initial_pids)),
+        bytes(codes),
+        io_cols,
+        fork_cols,
+        exit_cols,
+    )
+
+
+def _decode_execution(payload: tuple) -> ExecutionTrace:
+    application, index, initial_pids, codes, io_cols, fork_cols, exit_cols = (
+        payload
+    )
+    kinds = _ACCESS_KIND_BY_VALUE
+    io_iter = zip(*io_cols)
+    fork_iter = zip(*fork_cols)
+    exit_iter = zip(*exit_cols)
+    new = object.__new__
+    put = object.__setattr__
+    events: list[TraceEvent] = []
+    append = events.append
+    for code in codes:
+        if code == 0:
+            time, pid, pc, fd, acc, inode, bs, bc = next(io_iter)
+            event = new(IOEvent)
+            put(event, "time", time)
+            put(event, "pid", pid)
+            put(event, "pc", pc)
+            put(event, "fd", fd)
+            put(event, "kind", kinds[acc])
+            put(event, "inode", inode)
+            put(event, "block_start", bs)
+            put(event, "block_count", bc)
+        elif code == 1:
+            time, pid, parent = next(fork_iter)
+            event = new(ForkEvent)
+            put(event, "time", time)
+            put(event, "pid", pid)
+            put(event, "parent_pid", parent)
+        else:
+            time, pid = next(exit_iter)
+            event = new(ExitEvent)
+            put(event, "time", time)
+            put(event, "pid", pid)
+        append(event)
+    return ExecutionTrace(
+        application=application,
+        execution_index=index,
+        events=events,
+        initial_pids=frozenset(initial_pids),
+    )
+
+
+def encode_trace(trace: ApplicationTrace) -> tuple:
+    """The compact cache payload of an application trace."""
+    return (
+        trace.application,
+        tuple(_encode_execution(execution) for execution in trace),
+    )
+
+
+def decode_trace(payload: tuple) -> ApplicationTrace:
+    """Rebuild an :class:`ApplicationTrace` from :func:`encode_trace`."""
+    application, executions = payload
+    return ApplicationTrace(
+        application=application,
+        executions=[_decode_execution(item) for item in executions],
+    )
+
+
+def _digest(*parts: object) -> str:
+    """Hex BLAKE2b digest over the reprs of ``parts``.
+
+    All key components are ints, floats, strings, or tuples thereof,
+    whose reprs are deterministic across processes and platforms.
+    """
+    blob = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=20).hexdigest()
+
+
+def trace_key(application: str, scale: float) -> str:
+    """Cache key of one generated application trace."""
+    return _digest("trace", SCHEMA_VERSION, application, scale)
+
+
+def _event_tuple(event: TraceEvent) -> tuple:
+    if type(event) is IOEvent:
+        return (
+            "io", event.time, event.pid, event.pc, event.fd,
+            event.kind.value, event.inode, event.block_start,
+            event.block_count,
+        )
+    if type(event) is ForkEvent:
+        return ("fork", event.time, event.pid, event.parent_pid)
+    assert type(event) is ExitEvent
+    return ("exit", event.time, event.pid)
+
+
+def trace_fingerprint(trace: ApplicationTrace) -> str:
+    """Digest of a trace's full event content.
+
+    Filtered artifacts are keyed on this fingerprint (not on the trace's
+    provenance), so regenerating a workload with different content —
+    a generator change, a different scale, an imported trace — can never
+    serve stale filtered results.
+    """
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(
+        f"{SCHEMA_VERSION}:{trace.application}:{len(trace)}".encode("utf-8")
+    )
+    for execution in trace:
+        header = (
+            execution.execution_index,
+            tuple(sorted(execution.initial_pids)),
+            len(execution.events),
+        )
+        payload = [_event_tuple(event) for event in execution.events]
+        digest.update(pickle.dumps((header, payload), _PICKLE_PROTOCOL))
+    return digest.hexdigest()
+
+
+def filter_key(
+    fingerprint: str, execution_index: int, cache_config: CacheConfig
+) -> str:
+    """Cache key of one execution's page-cache filtering result."""
+    return _digest(
+        "filtered",
+        SCHEMA_VERSION,
+        fingerprint,
+        execution_index,
+        cache_config.capacity_bytes,
+        cache_config.block_size,
+        cache_config.flush_interval,
+    )
+
+
+def generated_suite_fingerprints(
+    scale: float, applications: tuple[str, ...] | list[str]
+) -> dict[str, str]:
+    """Provenance fingerprints for a generator-built suite.
+
+    Trace generation is a deterministic function of (application, scale,
+    schema version) — the premise that makes caching the traces sound in
+    the first place — so for generated suites the trace cache key can
+    stand in for the (expensive, per-event) content fingerprint when
+    keying filtered artifacts.  Pass the result to
+    :meth:`~repro.sim.experiment.ExperimentRunner.declare_fingerprints`.
+    Traces of any other provenance (imported, hand-built) must use
+    :func:`trace_fingerprint`.
+    """
+    return {name: trace_key(name, scale) for name in applications}
+
+
+def resolve_cache(
+    cache_dir: Optional[str | os.PathLike[str]] = None,
+) -> Optional[ArtifactCache]:
+    """The artifact cache to use, or ``None`` when caching is off.
+
+    An explicit ``cache_dir`` wins; otherwise the ``REPRO_CACHE_DIR``
+    environment variable is consulted.  An empty value disables caching.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
+    if cache_dir is None:
+        return None
+    return ArtifactCache(cache_dir)

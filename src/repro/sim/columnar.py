@@ -1,0 +1,141 @@
+"""Columnar (structure-of-arrays) view of a filtered disk-access stream.
+
+The simulation hot loops — gap extraction in the local evaluation, the
+merged-stream replay of the global engine — consume the same handful of
+per-access scalars (arrival time, pid, pc, fd, block count) over and over:
+once per predictor, once per sweep point, once per figure.  Pulling those
+scalars out of the row-oriented :class:`~repro.cache.filter.DiskAccess`
+dataclasses on every pass costs an attribute lookup per field per access
+per replay.
+
+:class:`ColumnarAccesses` transposes the stream once into NumPy arrays
+(built lazily, memoized on the owning
+:class:`~repro.cache.filter.FilterResult`), from which the engine obtains:
+
+* plain-Python lists of times and per-access service durations (the
+  duration formula is evaluated vectorized, then materialized with
+  ``.tolist()`` — bit-identical to evaluating
+  :meth:`~repro.config.SimulationConfig.access_duration` per access,
+  because both perform the same two IEEE-754 double operations per
+  element);
+* per-process index groupings for the local (Figure 6) evaluation;
+* the raw arrays for vectorized analytics (gap statistics, reductions).
+
+**Bit-identity contract:** every value handed back to the simulation is
+numerically identical — same bits — to what the row-oriented code
+computed.  Durations use only elementwise ``service_time +
+service_time_per_block * block_count`` (no reassociation, no fused
+multiply-add in NumPy's elementwise path for float64), and the arrays are
+materialized back into Python floats before entering the sequential
+simulation recurrences, whose evaluation order is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cache.filter import DiskAccess
+    from repro.config import SimulationConfig
+
+
+class ColumnarAccesses:
+    """NumPy columns of one execution's filtered disk-access stream."""
+
+    __slots__ = (
+        "times",
+        "pids",
+        "pcs",
+        "fds",
+        "block_counts",
+        "_durations",
+        "_per_process_indices",
+    )
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        pids: np.ndarray,
+        pcs: np.ndarray,
+        fds: np.ndarray,
+        block_counts: np.ndarray,
+    ) -> None:
+        self.times = times
+        self.pids = pids
+        self.pcs = pcs
+        self.fds = fds
+        self.block_counts = block_counts
+        #: (service_time, service_time_per_block) -> durations list memo.
+        self._durations: dict[tuple[float, float], list[float]] = {}
+        self._per_process_indices: Optional[dict[int, np.ndarray]] = None
+
+    @classmethod
+    def from_accesses(
+        cls, accesses: Sequence["DiskAccess"]
+    ) -> "ColumnarAccesses":
+        """Transpose a row-oriented access stream (one pass per column)."""
+        n = len(accesses)
+        times = np.fromiter(
+            (a.time for a in accesses), dtype=np.float64, count=n
+        )
+        pids = np.fromiter((a.pid for a in accesses), dtype=np.int64, count=n)
+        pcs = np.fromiter((a.pc for a in accesses), dtype=np.int64, count=n)
+        fds = np.fromiter((a.fd for a in accesses), dtype=np.int64, count=n)
+        counts = np.fromiter(
+            (a.block_count for a in accesses), dtype=np.int64, count=n
+        )
+        return cls(times, pids, pcs, fds, counts)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def durations_list(self, config: "SimulationConfig") -> list[float]:
+        """Per-access service durations as plain floats (memoized).
+
+        Vectorized evaluation of
+        :meth:`~repro.config.SimulationConfig.access_duration`; each
+        element is bit-identical to the scalar formula.
+        """
+        key = (config.service_time, config.service_time_per_block)
+        cached = self._durations.get(key)
+        if cached is None:
+            cached = (
+                config.service_time
+                + config.service_time_per_block * self.block_counts
+            ).tolist()
+            self._durations[key] = cached
+        return cached
+
+    def times_list(self) -> list[float]:
+        """Arrival times as plain floats (fast sequential consumption)."""
+        return self.times.tolist()
+
+    def per_process_indices(self) -> dict[int, np.ndarray]:
+        """``pid -> positions`` of each process's accesses, in stream order
+        (memoized)."""
+        if self._per_process_indices is None:
+            order = np.argsort(self.pids, kind="stable")
+            sorted_pids = self.pids[order]
+            boundaries = np.nonzero(np.diff(sorted_pids))[0] + 1
+            groups = np.split(order, boundaries)
+            self._per_process_indices = {
+                int(self.pids[group[0]]): np.sort(group)
+                for group in groups
+                if len(group)
+            }
+        return self._per_process_indices
+
+    def gap_lengths(self, *, lead_in: float) -> np.ndarray:
+        """Arrival-to-arrival gaps (vectorized analytics helper).
+
+        ``lead_in`` is the stream start time; element ``i`` is the time
+        from the previous arrival (or the stream start) to arrival ``i``.
+        This ignores service time — it is an upper bound on idle time
+        used by coarse analytics, not by the engine.
+        """
+        if not len(self.times):
+            return np.empty(0, dtype=np.float64)
+        previous = np.concatenate(([lead_in], self.times[:-1]))
+        return self.times - previous

@@ -15,6 +15,16 @@ standing :class:`~repro.predictors.base.ShutdownIntent`; the disk is shut
 down at the earliest instant all live processes' intents are ready,
 provided no request arrives first.  A shutdown's hit/miss classification
 is energy-principled (see :mod:`repro.sim.metrics`).
+
+Hot-path structure: the engine consumes the columnar view of the
+filtered stream (:mod:`repro.sim.columnar`) — per-access service
+durations are evaluated vectorized once per (stream × service-time
+configuration) and the merged event schedule is memoized per
+(execution × filter result) — and the replay loops bind every method and
+counter they touch to locals, with the tracer guard hoisted so untraced
+runs never test per-event.  All of this is observationally invisible:
+results are bit-identical to the row-oriented implementation (see
+DESIGN.md, "columnar bit-identity contract").
 """
 
 from __future__ import annotations
@@ -83,6 +93,38 @@ def _resolve_shutdown(
     return intent.delay, intent.source
 
 
+def merged_schedule(
+    execution: ExecutionTrace, filtered: FilterResult
+) -> list[tuple[float, int, object, int]]:
+    """The global engine's replay schedule, memoized on ``filtered``.
+
+    Liveness events merge with the filtered disk accesses as
+    ``(time, rank, payload, access_index)`` entries; ranks make forks
+    precede accesses which precede exits at identical times (ties keep
+    stream order — the sort is stable).  ``access_index`` is the access's
+    position in ``filtered.accesses`` (``-1`` for liveness events), which
+    is how the replay loop finds its precomputed service duration.
+
+    The schedule depends only on the (execution, filter result) pair —
+    not on the predictor or the simulation configuration — so replaying
+    the same execution under many predictors or sweep points reuses it.
+    """
+    memo = filtered._schedule
+    if memo is not None and memo[0] is execution:
+        return memo[1]
+    entries: list[tuple[float, int, object, int]] = []
+    for event in execution.events:
+        if isinstance(event, ForkEvent):
+            entries.append((event.time, 0, event, -1))
+        elif isinstance(event, ExitEvent):
+            entries.append((event.time, 2, event, -1))
+    for index, access in enumerate(filtered.accesses):
+        entries.append((access.time, 1, access, index))
+    entries.sort(key=lambda item: (item[0], item[1]))
+    filtered._schedule = (execution, entries)
+    return entries
+
+
 def evaluate_local_stream(
     accesses: Sequence[DiskAccess],
     predictor: LocalPredictor,
@@ -103,52 +145,65 @@ def evaluate_local_stream(
         raise SimulationError("stream ends before it starts")
     stats = PredictionStats()
     breakeven = config.breakeven
-    if tracer is not None:
+    wait_window = config.wait_window
+    traced = tracer is not None
+    if traced:
         predictor.bind_tracing(
             tracer, accesses[0].pid if accesses else 0
         )
     predictor.begin_execution(start_time)
     intent = predictor.initial_intent(start_time)
     busy_end = start_time
+    # Hot loop: the service-duration formula and every callback are bound
+    # to locals; the arithmetic matches config.access_duration exactly.
+    service = config.service_time
+    per_block = config.service_time_per_block
+    record_gap = stats.record_gap
+    on_access = predictor.on_access
+    on_idle_end = predictor.on_idle_end
     for access in accesses:
-        if access.time > busy_end + _EPS:
-            gap_length = access.time - busy_end
-            offset, source = _resolve_shutdown(intent, gap_length)
-            stats.record_gap(gap_length, offset, source, breakeven)
-            if tracer is not None and offset is not None:
-                assert source is not None
-                _emit_fired(
-                    tracer, busy_end, gap_length, offset, source, breakeven
-                )
-            predictor.on_idle_end(
+        time = access.time
+        if time > busy_end + _EPS:
+            gap_length = time - busy_end
+            delay = intent.delay
+            if delay is None or delay >= gap_length - _EPS:
+                record_gap(gap_length, None, None, breakeven)
+            else:
+                record_gap(gap_length, delay, intent.source, breakeven)
+                if traced:
+                    _emit_fired(
+                        tracer, busy_end, gap_length, delay, intent.source,
+                        breakeven,
+                    )
+            on_idle_end(
                 IdleFeedback(
                     start=busy_end,
-                    end=access.time,
+                    end=time,
                     idle_class=classify_gap(
-                        gap_length, config.wait_window, breakeven
+                        gap_length, wait_window, breakeven
                     ),
                 )
             )
-        intent = predictor.on_access(access)
-        busy_end = max(access.time, busy_end) + config.access_duration(
-            access.block_count
-        )
+        intent = on_access(access)
+        if time > busy_end:
+            busy_end = time
+        busy_end += service + per_block * access.block_count
     if end_time > busy_end + _EPS:
         gap_length = end_time - busy_end
         offset, source = _resolve_shutdown(intent, gap_length)
-        stats.record_gap(gap_length, offset, source, breakeven)
-        if tracer is not None and offset is not None:
+        record_gap(gap_length, offset, source, breakeven)
+        if traced and offset is not None:
             assert source is not None
             _emit_fired(
                 tracer, busy_end, gap_length, offset, source, breakeven
             )
         # Trailing idle period trains too (the table is saved at exit).
-        predictor.on_idle_end(
+        on_idle_end(
             IdleFeedback(
                 start=busy_end,
                 end=end_time,
                 idle_class=classify_gap(
-                    gap_length, config.wait_window, breakeven
+                    gap_length, wait_window, breakeven
                 ),
             )
         )
@@ -215,48 +270,61 @@ def _run_omniscient(
     start, end = execution.start_time, execution.end_time
     disk = SimulatedDisk(config.disk, start_time=start, tracer=tracer)
     stats = PredictionStats()
+    traced = tracer is not None
+    accesses = filtered.accesses
+    columnar = filtered.columnar()
+    times = columnar.times_list()
+    durations = columnar.durations_list(config)
+    serve = disk.serve
+    record_gap = stats.record_gap
+    shutdown_offset = policy.shutdown_offset
+    schedule_shutdown = disk.schedule_shutdown
+    busy_until = disk.busy_until
 
     def handle_gap(gap_length: float) -> None:
-        offset = policy.shutdown_offset(gap_length)
+        offset = shutdown_offset(gap_length)
         if offset is not None and offset < gap_length - _EPS:
-            disk.schedule_shutdown(disk.busy_until + offset)
-            stats.record_gap(
+            schedule_shutdown(busy_until + offset)
+            record_gap(
                 gap_length, offset, PredictorSource.PRIMARY, breakeven
             )
-            if tracer is not None:
+            if traced:
                 tracer.emit(
                     ShutdownScheduled(
-                        time=disk.busy_until + offset,
+                        time=busy_until + offset,
                         source=PredictorSource.PRIMARY.value,
                     )
                 )
                 _emit_fired(
                     tracer,
-                    disk.busy_until,
+                    busy_until,
                     gap_length,
                     offset,
                     PredictorSource.PRIMARY,
                     breakeven,
                 )
         else:
-            stats.record_gap(gap_length, None, None, breakeven)
+            record_gap(gap_length, None, None, breakeven)
 
-    for access in filtered.accesses:
-        gap_length = access.time - disk.busy_until
+    for index in range(len(times)):
+        time = times[index]
+        gap_length = time - busy_until
         if gap_length > _EPS:
             handle_gap(gap_length)
-        disk.serve(access.time, config.access_duration(access.block_count))
-        if tracer is not None:
+        serve(time, durations[index])
+        busy_until = disk.busy_until
+        if traced:
+            access = accesses[index]
             tracer.emit(
                 AccessServed(
                     time=access.time,
                     pid=access.pid,
                     pc=access.pc,
                     block_count=access.block_count,
-                    busy_until=disk.busy_until,
+                    busy_until=busy_until,
                 )
             )
-    trailing = end - disk.busy_until
+    trailing = end - busy_until
     if trailing > _EPS:
         handle_gap(trailing)
     disk.finalize(end)
@@ -264,7 +332,7 @@ def _run_omniscient(
         stats=stats,
         ledger=disk.ledger,
         shutdowns=disk.shutdown_count,
-        disk_accesses=len(filtered.accesses),
+        disk_accesses=len(accesses),
         delayed_requests=disk.delayed_requests,
         delay_seconds=disk.delay_seconds,
         irritating_delays=disk.irritating_delays,
@@ -298,44 +366,47 @@ def _run_local_based(
     for pid in execution.initial_pids:
         combiner.process_started(start, pid)
 
-    # Merge liveness events with the filtered disk accesses.  Ranks make
-    # forks precede accesses which precede exits at identical times.
-    events: list[tuple[float, int, object]] = []
-    for event in execution.events:
-        if isinstance(event, ForkEvent):
-            events.append((event.time, 0, event))
-        elif isinstance(event, ExitEvent):
-            events.append((event.time, 2, event))
-    for access in filtered.accesses:
-        events.append((access.time, 1, access))
-    events.sort(key=lambda item: (item[0], item[1]))
+    schedule = merged_schedule(execution, filtered)
+    durations = filtered.columnar().durations_list(config)
+
+    traced = tracer is not None
+    serve = disk.serve
+    schedule_shutdown = disk.schedule_shutdown
+    record_gap = stats.record_gap
+    on_access = combiner.on_access
+    is_live = combiner.is_live
+    process_started = combiner.process_started
+    process_exited = combiner.process_exited
+    decision_fn = combiner.decision
 
     # The current gap: starts at disk.busy_until after each access.
     # ``window_start`` is the start of the sub-interval during which the
     # current global decision has been stable (liveness changes reset it).
+    # ``busy_until`` mirrors disk.busy_until (refreshed after each serve).
     window_start = start
+    busy_until = disk.busy_until
     pending: Optional[tuple[float, PredictorSource]] = None
     low_power_entered = False
 
     def try_shutdown(limit: float) -> None:
         """Fire the global decision inside [window_start, limit) if ready."""
         nonlocal pending, low_power_entered
-        if pending is not None or limit <= disk.busy_until + _EPS:
+        if pending is not None or limit <= busy_until + _EPS:
             return
-        decision = combiner.decision()
+        decision = decision_fn()
         if decision is None:
             return
         if multistate and not low_power_entered:
-            entry = max(window_start, disk.busy_until)
+            entry = max(window_start, busy_until)
             if entry < limit - _EPS:
                 assert isinstance(disk, MultiStateDisk)
                 disk.enter_low_power(entry)
                 low_power_entered = True
-        fire_at = max(window_start, decision.ready_time, disk.busy_until)
+        fire_at = max(window_start, decision.ready_time, busy_until)
         if fire_at < limit - _EPS:
-            disk.schedule_shutdown(fire_at)
+            schedule_shutdown(fire_at)
             pending = (fire_at, decision.source)
-            if tracer is not None:
+            if traced:
                 tracer.emit(
                     WaitWindowExpired(
                         time=fire_at, source=decision.source.value
@@ -347,95 +418,85 @@ def _run_local_based(
                     )
                 )
 
-    for time, rank, payload in events:
+    for time, rank, payload, index in schedule:
         if rank == 1:
             access = payload
-            assert isinstance(access, DiskAccess)
-            try_shutdown(access.time)
-            gap_length = access.time - disk.busy_until
-            gap_start = disk.busy_until
+            try_shutdown(time)
+            gap_start = busy_until
+            gap_length = time - gap_start
             if (
-                tracer is not None
+                traced
                 and pending is None
                 and gap_length > _EPS
-                and combiner.decision() is not None
+                and decision_fn() is not None
             ):
                 # A standing global decision existed in this gap but the
                 # arrival beat the wait-window / ready time: cancelled.
                 tracer.emit(
-                    ShutdownCancelled(time=access.time, reason="wait-window")
+                    ShutdownCancelled(time=time, reason="wait-window")
                 )
-            disk.serve(access.time, config.access_duration(access.block_count))
-            if tracer is not None:
+            serve(time, durations[index])
+            busy_until = disk.busy_until
+            if traced:
                 tracer.emit(
                     AccessServed(
-                        time=access.time,
+                        time=time,
                         pid=access.pid,
                         pc=access.pc,
                         block_count=access.block_count,
-                        busy_until=disk.busy_until,
+                        busy_until=busy_until,
                     )
                 )
             if gap_length > _EPS:
                 if pending is not None:
-                    stats.record_gap(
-                        gap_length,
-                        pending[0] - gap_start,
-                        pending[1],
-                        breakeven,
-                    )
-                    if tracer is not None:
+                    offset = pending[0] - gap_start
+                    record_gap(gap_length, offset, pending[1], breakeven)
+                    if traced:
                         _emit_fired(
                             tracer,
                             gap_start,
                             gap_length,
-                            pending[0] - gap_start,
+                            offset,
                             pending[1],
                             breakeven,
                         )
                 else:
-                    stats.record_gap(gap_length, None, None, breakeven)
-            if access.pid not in combiner.live_pids:
+                    record_gap(gap_length, None, None, breakeven)
+            if not is_live(access.pid):
                 # A pid the trace never introduced (fork unobserved, or
                 # absent from initial_pids): register it on the spot so
                 # its accesses still feed predictor state instead of
                 # silently dropping the update.
-                if tracer is not None:
+                if traced:
                     tracer.emit(
-                        UnknownPidRegistered(
-                            time=access.time, pid=access.pid
-                        )
+                        UnknownPidRegistered(time=time, pid=access.pid)
                     )
-                combiner.process_started(access.time, access.pid)
-            combiner.on_access(access, disk.busy_until)
+                process_started(time, access.pid)
+            on_access(access, busy_until)
             pending = None
             low_power_entered = False
-            window_start = disk.busy_until
+            window_start = busy_until
         elif rank == 0:
-            fork = payload
-            assert isinstance(fork, ForkEvent)
-            try_shutdown(fork.time)
+            try_shutdown(time)
             # The pid may already be live if an access preceded the fork
             # record (fork observed late) and registered it above.
-            if fork.pid not in combiner.live_pids:
-                combiner.process_started(fork.time, fork.pid)
-            window_start = max(window_start, fork.time)
+            if not is_live(payload.pid):
+                process_started(time, payload.pid)
+            if time > window_start:
+                window_start = time
         else:
-            exit_event = payload
-            assert isinstance(exit_event, ExitEvent)
-            try_shutdown(exit_event.time)
-            combiner.process_exited(exit_event.time, exit_event.pid)
-            window_start = max(window_start, exit_event.time)
+            try_shutdown(time)
+            process_exited(time, payload.pid)
+            if time > window_start:
+                window_start = time
 
     try_shutdown(end)
-    trailing = end - disk.busy_until
-    gap_start = disk.busy_until
+    trailing = end - busy_until
+    gap_start = busy_until
     if trailing > _EPS:
         if pending is not None:
-            stats.record_gap(
-                trailing, pending[0] - gap_start, pending[1], breakeven
-            )
-            if tracer is not None:
+            record_gap(trailing, pending[0] - gap_start, pending[1], breakeven)
+            if traced:
                 _emit_fired(
                     tracer,
                     gap_start,
@@ -445,7 +506,7 @@ def _run_local_based(
                     breakeven,
                 )
         else:
-            stats.record_gap(trailing, None, None, breakeven)
+            record_gap(trailing, None, None, breakeven)
     disk.finalize(end)
     return ExecutionRunResult(
         stats=stats,

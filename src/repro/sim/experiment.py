@@ -65,6 +65,7 @@ class ExperimentRunner:
         *,
         tracing: bool = False,
         trace_capacity: Optional[int] = None,
+        artifact_cache=None,
     ) -> None:
         self.suite = suite
         self.config = config or SimulationConfig()
@@ -73,7 +74,13 @@ class ExperimentRunner:
         #: and attaches it to the :class:`ApplicationResult`.
         self.tracing = tracing
         self.trace_capacity = trace_capacity
+        #: Optional :class:`~repro.sim.artifact_cache.ArtifactCache`
+        #: persisting filter results on disk across processes and runs.
+        self.artifact_cache = artifact_cache
         self._filtered: dict[str, list[FilterResult]] = {}
+        #: application → content fingerprint, shared with clones (it
+        #: depends only on the suite's trace events, never the config).
+        self._fingerprints: dict[str, str] = {}
 
     @property
     def applications(self) -> list[str]:
@@ -92,9 +99,11 @@ class ExperimentRunner:
             config,
             tracing=self.tracing,
             trace_capacity=self.trace_capacity,
+            artifact_cache=self.artifact_cache,
         )
         if config.cache == self.config.cache:
             clone._filtered = self._filtered
+        clone._fingerprints = self._fingerprints
         return clone
 
     def _make_tracer(
@@ -115,15 +124,60 @@ class ExperimentRunner:
             return recorder, recorder
         return None, None
 
+    def declare_fingerprints(self, fingerprints: dict[str, str]) -> None:
+        """Pre-seed trace content fingerprints for artifact-cache keys.
+
+        By default :meth:`filtered` fingerprints a trace by hashing all
+        its events; callers that *know* the provenance of their suite
+        (e.g. the deterministic generator — see
+        :func:`repro.sim.artifact_cache.generated_suite_fingerprints`)
+        can seed equivalent keys and skip the per-event hashing.
+        """
+        self._fingerprints.update(fingerprints)
+
     def filtered(self, application: str) -> list[FilterResult]:
-        """Cache-filtered executions of one application (memoized)."""
-        if application not in self._filtered:
-            trace = self._trace(application)
-            self._filtered[application] = [
+        """Cache-filtered executions of one application (memoized).
+
+        With an artifact cache attached, each execution's filter result
+        is additionally persisted on disk, keyed by the trace content
+        fingerprint and the cache configuration — cold runs in a new
+        process then deserialize instead of re-filtering.  Cached
+        results are the pickles of exactly what ``filter_execution``
+        builds, so downstream simulation is bit-identical either way.
+        """
+        memo = self._filtered.get(application)
+        if memo is not None:
+            return memo
+        trace = self._trace(application)
+        cache = self.artifact_cache
+        if cache is None:
+            results = [
                 filter_execution(execution, self.config.cache)
                 for execution in trace
             ]
-        return self._filtered[application]
+        else:
+            from repro.sim.artifact_cache import (
+                filter_key,
+                trace_fingerprint,
+            )
+
+            fingerprint = self._fingerprints.get(application)
+            if fingerprint is None:
+                fingerprint = trace_fingerprint(trace)
+                self._fingerprints[application] = fingerprint
+            cache_config = self.config.cache
+            results = []
+            for execution in trace:
+                key = filter_key(
+                    fingerprint, execution.execution_index, cache_config
+                )
+                hit, value = cache.get(key)
+                if not hit:
+                    value = filter_execution(execution, cache_config)
+                    cache.put(key, value)
+                results.append(value)
+        self._filtered[application] = results
+        return results
 
     def run_global(
         self,
@@ -266,8 +320,10 @@ class ExperimentRunner:
                 jobs=jobs,
                 tracing=self.tracing,
                 trace_capacity=self.trace_capacity,
+                artifact_cache=self.artifact_cache,
             )
             clone._filtered = self._filtered
+            clone._fingerprints = self._fingerprints
             if isinstance(predictor, PredictorSpec):
                 raise SimulationError(
                     "parallel run_suite needs a predictor name (specs are "

@@ -222,9 +222,14 @@ class ParallelExperimentRunner(ExperimentRunner):
         progress: Optional[ProgressHook] = None,
         tracing: bool = False,
         trace_capacity: Optional[int] = None,
+        artifact_cache=None,
     ) -> None:
         super().__init__(
-            suite, config, tracing=tracing, trace_capacity=trace_capacity
+            suite,
+            config,
+            tracing=tracing,
+            trace_capacity=trace_capacity,
+            artifact_cache=artifact_cache,
         )
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
@@ -239,9 +244,11 @@ class ParallelExperimentRunner(ExperimentRunner):
             progress=self.progress,
             tracing=self.tracing,
             trace_capacity=self.trace_capacity,
+            artifact_cache=self.artifact_cache,
         )
         if config.cache == self.config.cache:
             clone._filtered = self._filtered
+        clone._fingerprints = self._fingerprints
         return clone
 
     def prewarm(self, applications: Optional[Sequence[str]] = None) -> None:

@@ -8,9 +8,11 @@ that loop; the configuration is varied either by rebuilding the
 work when possible) or by supplying a custom spec factory per point.
 
 A sweep decomposes into independent (point × application) cells —
-including one ``Base`` baseline cell per *distinct* (configuration ×
-application) pair, computed once and reused by every point that shares
-the configuration — and executes them through
+including one ``Base`` baseline cell per *distinct* (baseline-relevant
+configuration × application) pair, computed once and reused by every
+point whose disk/cache/service-time fields agree (predictor knobs like
+the wait window never affect the always-on baseline) — and executes
+them through
 :func:`repro.sim.parallel.execute_cells`.  With ``jobs`` > 1 the cells
 run on a process pool; the fold over per-cell results is in fixed cell
 order either way, so parallel sweeps are bit-identical to serial ones.
@@ -28,6 +30,25 @@ from repro.sim.metrics import PredictionStats
 from repro.sim.parallel import ExperimentCell, ProgressHook, execute_cells
 
 P = TypeVar("P")
+
+
+def _baseline_key(config: SimulationConfig) -> tuple:
+    """Memo key of a Base baseline cell under ``config``.
+
+    The Base system is the always-on omniscient policy: its result
+    depends only on the disk power model, the page-cache configuration
+    (which shapes the filtered stream), and the service-time model —
+    never on predictor knobs like ``wait_window`` or ``timeout``.
+    Keying on exactly those fields lets sweeps over predictor knobs
+    share one baseline cell per application instead of recomputing an
+    identical baseline per point.
+    """
+    return (
+        config.disk,
+        config.cache,
+        config.service_time,
+        config.service_time_per_block,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,12 +127,13 @@ def sweep(
         for application in apps:
             add_cell("run", point, application, f"{predictor}@{value!r}")
 
-    #: (config, application) → cell position of its baseline.
-    baseline_cells: dict[tuple[SimulationConfig, str], int] = {}
+    #: (baseline-relevant config fields, application) → cell position of
+    #: its baseline (see _baseline_key).
+    baseline_cells: dict[tuple[tuple, str], int] = {}
     sweeping_base = make_spec is None and predictor == "Base"
     for point, point_runner in enumerate(point_runners):
         for position, application in enumerate(apps):
-            key = (point_runner.config, application)
+            key = (_baseline_key(point_runner.config), application)
             if key in baseline_cells:
                 continue
             if sweeping_base:
@@ -159,7 +181,7 @@ def sweep(
             delayed += result.delayed_requests
             irritating += result.irritating_delays
             accesses += result.total_disk_accesses
-            key = (point_runners[point].config, application)
+            key = (_baseline_key(point_runners[point].config), application)
             base_energy += results[baseline_cells[key]].result.energy
         points.append(
             SweepPoint(

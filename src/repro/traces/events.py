@@ -68,6 +68,19 @@ class IOEvent:
         if self.block_count < 0:
             raise ValueError("block count must be non-negative")
 
+    def __reduce__(self):
+        # Frozen-slots dataclasses pickle through a generic setstate that
+        # re-introspects fields() per object; full traces hold ~10^6
+        # events, so reconstruct positionally instead (several times
+        # faster on both dump and load, validation still runs).
+        return (
+            IOEvent,
+            (
+                self.time, self.pid, self.pc, self.fd, self.kind,
+                self.inode, self.block_start, self.block_count,
+            ),
+        )
+
     @property
     def blocks(self) -> range:
         """The touched block ids."""
@@ -96,6 +109,9 @@ class ForkEvent:
         if self.pid == self.parent_pid:
             raise ValueError("a process cannot fork itself")
 
+    def __reduce__(self):
+        return (ForkEvent, (self.time, self.pid, self.parent_pid))
+
 
 @dataclass(frozen=True, slots=True)
 class ExitEvent:
@@ -107,6 +123,9 @@ class ExitEvent:
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("event time must be non-negative")
+
+    def __reduce__(self):
+        return (ExitEvent, (self.time, self.pid))
 
 
 TraceEvent = Union[IOEvent, ForkEvent, ExitEvent]

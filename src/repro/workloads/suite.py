@@ -37,8 +37,28 @@ def application_spec(name: str) -> ApplicationSpec:
         ) from None
 
 
-def build_application(name: str, *, scale: float = 1.0) -> ApplicationTrace:
-    """Generate one application's full trace history."""
+def build_application(
+    name: str, *, scale: float = 1.0, cache=None
+) -> ApplicationTrace:
+    """Generate one application's full trace history.
+
+    With an :class:`~repro.sim.artifact_cache.ArtifactCache` the
+    generated trace is persisted keyed by (application, scale, schema
+    version): the second process to ask skips generation entirely.
+    Generation is deterministic, so the cached trace is identical to a
+    fresh build.
+    """
+    if cache is not None:
+        from repro.sim.artifact_cache import trace_key
+
+        key = trace_key(name, scale)
+        trace = cache.get_trace(key)
+        if trace is None:
+            trace = build_application_trace(
+                application_spec(name), scale=scale
+            )
+            cache.put_trace(key, trace)
+        return trace
     return build_application_trace(application_spec(name), scale=scale)
 
 
@@ -50,8 +70,21 @@ def _cached_suite(scale: float) -> dict[str, ApplicationTrace]:
 
 
 def build_suite(
-    *, scale: float = 1.0, applications: tuple[str, ...] = APPLICATIONS
+    *,
+    scale: float = 1.0,
+    applications: tuple[str, ...] = APPLICATIONS,
+    cache=None,
 ) -> dict[str, ApplicationTrace]:
-    """Generate (and memoize) the suite's traces at the given scale."""
+    """Generate (and memoize) the suite's traces at the given scale.
+
+    ``cache`` persists each application's trace on disk instead of the
+    in-process memo (see :func:`build_application`), sharing the build
+    across processes and runs.
+    """
+    if cache is not None:
+        return {
+            name: build_application(name, scale=scale, cache=cache)
+            for name in applications
+        }
     full = _cached_suite(scale)
     return {name: full[name] for name in applications}

@@ -1,0 +1,322 @@
+"""Persistent artifact cache: addressing, recovery, and bit-identity."""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.cache.page_cache import CacheConfig
+from repro.config import SimulationConfig
+from repro.sim.artifact_cache import (
+    CACHE_DIR_ENV_VAR,
+    ArtifactCache,
+    decode_trace,
+    encode_trace,
+    filter_key,
+    resolve_cache,
+    trace_fingerprint,
+    trace_key,
+)
+from repro.sim.experiment import ExperimentRunner
+from repro.traces.trace import ApplicationTrace
+from repro.workloads import build_application
+from tests.helpers import single_process_execution
+
+
+def _tiny_suite() -> dict[str, ApplicationTrace]:
+    """Two synthetic applications with real idle periods, two executions
+    each — enough to exercise filtering, prediction, and energy."""
+    suite = {}
+    for app, base_pc in (("alpha", 0x1000), ("beta", 0x7000)):
+        executions = []
+        for index in range(2):
+            points = []
+            t = 0.0
+            for rep in range(6):
+                points.append((t, base_pc + (rep % 3) * 8))
+                t += 25.0 + index
+            executions.append(
+                single_process_execution(
+                    points,
+                    application=app,
+                    execution_index=index,
+                    end_time=t,
+                )
+            )
+        suite[app] = ApplicationTrace(app, executions)
+    return suite
+
+
+# -------------------------------------------------------------- store --
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    hit, value = cache.get(key)
+    assert not hit and value is None
+    cache.put(key, {"payload": [1, 2, 3]})
+    hit, value = cache.get(key)
+    assert hit and value == {"payload": [1, 2, 3]}
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hits == 1
+
+
+def test_entries_live_under_two_level_layout(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    cache.put(key, "x")
+    path = cache.path_for(key)
+    assert path.exists()
+    assert path.parent.name == key[:2]
+    # The atomic-publish protocol leaves no temp files behind.
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_keys_are_content_addressed():
+    fingerprint = "ab" * 20
+    base = CacheConfig()
+    key = filter_key(fingerprint, 0, base)
+    assert key == filter_key(fingerprint, 0, CacheConfig())
+    # Any determining input changes the key: execution, fingerprint,
+    # or each field of the cache configuration.
+    assert key != filter_key(fingerprint, 1, base)
+    assert key != filter_key("cd" * 20, 0, base)
+    assert key != filter_key(
+        fingerprint, 0, CacheConfig(capacity_bytes=512 * 1024)
+    )
+    assert key != filter_key(fingerprint, 0, CacheConfig(block_size=8192))
+    assert key != filter_key(fingerprint, 0, CacheConfig(flush_interval=60.0))
+    # Trace keys vary with application and scale.
+    assert trace_key("alpha", 1.0) != trace_key("alpha", 0.5)
+    assert trace_key("alpha", 1.0) != trace_key("beta", 1.0)
+
+
+def test_corrupted_entry_recovers(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    cache.put(key, [1, 2, 3])
+    cache.path_for(key).write_bytes(b"\x00garbage, not a pickle")
+    hit, value = cache.get(key)
+    assert not hit and value is None
+    assert cache.stats.corrupt == 1
+    # The broken entry is gone, and the recompute path heals the cache.
+    assert not cache.path_for(key).exists()
+    assert cache.get_or_compute(key, lambda: [1, 2, 3]) == [1, 2, 3]
+    assert cache.get(key) == (True, [1, 2, 3])
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    cache.put(key, list(range(1000)))
+    blob = cache.path_for(key).read_bytes()
+    cache.path_for(key).write_bytes(blob[: len(blob) // 2])
+    assert cache.get(key) == (False, None)
+    assert cache.stats.corrupt == 1
+
+
+def test_get_trace_rejects_bogus_payload(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    # Unpickles fine, but is not a trace payload: handled as corruption.
+    cache.put(key, ("definitely", "not", "a", "trace"))
+    assert cache.get_trace(key) is None
+    assert cache.stats.corrupt == 1
+    assert not cache.path_for(key).exists()
+
+
+def test_get_or_compute_computes_once(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    calls = []
+    for _ in range(3):
+        value = cache.get_or_compute("ab" * 20, lambda: calls.append(1) or 42)
+        assert value == 42
+    assert len(calls) == 1
+
+
+# -------------------------------------------------------------- codec --
+
+
+def test_trace_codec_roundtrip():
+    trace = build_application("nedit", scale=0.1)
+    payload = encode_trace(trace)
+    # The payload survives pickling (that is how it is stored) and
+    # decodes back to an identical trace, event for event.
+    decoded = decode_trace(pickle.loads(pickle.dumps(payload)))
+    assert decoded == trace
+    assert decoded.application == trace.application
+    for original, rebuilt in zip(trace, decoded):
+        assert rebuilt.initial_pids == original.initial_pids
+        assert rebuilt.events == original.events
+        assert [type(e) for e in rebuilt.events] == [
+            type(e) for e in original.events
+        ]
+
+
+def test_codec_roundtrip_preserves_fingerprint():
+    trace = build_application("mplayer", scale=0.1)
+    decoded = decode_trace(encode_trace(trace))
+    assert trace_fingerprint(decoded) == trace_fingerprint(trace)
+
+
+def test_build_application_persists_trace(tmp_path):
+    cold = ArtifactCache(tmp_path)
+    built = build_application("nedit", scale=0.1, cache=cold)
+    assert cold.stats.stores == 1
+    # A fresh process (modeled by a fresh cache instance) loads the
+    # stored trace instead of regenerating, and gets an identical one.
+    warm = ArtifactCache(tmp_path)
+    loaded = build_application("nedit", scale=0.1, cache=warm)
+    assert warm.stats.hits == 1
+    assert warm.stats.stores == 0
+    assert loaded == built
+
+
+# ----------------------------------------------------- runner wiring --
+
+
+def test_filtered_persists_and_reloads(tmp_path):
+    suite = _tiny_suite()
+    config = SimulationConfig()
+    cold_cache = ArtifactCache(tmp_path)
+    cold = ExperimentRunner(suite, config, artifact_cache=cold_cache)
+    cold_results = {app: cold.filtered(app) for app in suite}
+    assert cold_cache.stats.stores == 4  # 2 apps x 2 executions
+
+    warm_cache = ArtifactCache(tmp_path)
+    warm = ExperimentRunner(suite, config, artifact_cache=warm_cache)
+    warm_results = {app: warm.filtered(app) for app in suite}
+    assert warm_cache.stats.hits == 4
+    assert warm_cache.stats.stores == 0
+    assert warm_results == cold_results
+
+    # The in-process memo means the cache is consulted once per app.
+    warm.filtered("alpha")
+    assert warm_cache.stats.hits == 4
+
+
+def test_cache_config_change_is_a_miss(tmp_path):
+    suite = _tiny_suite()
+    first = ExperimentRunner(
+        suite, SimulationConfig(), artifact_cache=ArtifactCache(tmp_path)
+    )
+    first.filtered("alpha")
+
+    bigger = SimulationConfig(cache=CacheConfig(capacity_bytes=512 * 1024))
+    second_cache = ArtifactCache(tmp_path)
+    second = ExperimentRunner(suite, bigger, artifact_cache=second_cache)
+    second.filtered("alpha")
+    # Same traces, different cache configuration: stale filtered
+    # artifacts must never be served.
+    assert second_cache.stats.hits == 0
+    assert second_cache.stats.misses == 2
+
+
+def test_results_bit_identical_cache_on_off(tmp_path):
+    suite = _tiny_suite()
+    config = SimulationConfig()
+
+    off = ExperimentRunner(suite, config)
+    cold = ExperimentRunner(
+        suite, config, artifact_cache=ArtifactCache(tmp_path)
+    )
+    warm = ExperimentRunner(
+        suite, config, artifact_cache=ArtifactCache(tmp_path)
+    )
+    for predictor in ("PCAP", "TP", "Base"):
+        for app in suite:
+            result_off = off.run_global(app, predictor)
+            result_cold = cold.run_global(app, predictor)
+            result_warm = warm.run_global(app, predictor)
+            assert result_cold == result_off
+            assert result_warm == result_off
+
+
+def test_traced_run_identical_with_cache(tmp_path):
+    suite = _tiny_suite()
+    config = SimulationConfig()
+    off = ExperimentRunner(suite, config, tracing=True)
+    warm = ExperimentRunner(
+        suite,
+        config,
+        tracing=True,
+        artifact_cache=ArtifactCache(tmp_path),
+    )
+    warm.filtered("alpha")  # populate the on-disk entries
+    warm._filtered.clear()  # force the reload path for the actual run
+    result_off = off.run_global("alpha", "PCAP")
+    result_warm = warm.run_global("alpha", "PCAP")
+    assert result_warm.trace_summary == result_off.trace_summary
+    assert result_warm.trace_events == result_off.trace_events
+
+
+def test_parallel_suite_identical_with_cache(tmp_path):
+    suite = _tiny_suite()
+    config = SimulationConfig()
+    serial = ExperimentRunner(suite, config).run_suite("PCAP", jobs=1)
+    parallel = ExperimentRunner(
+        suite, config, artifact_cache=ArtifactCache(tmp_path)
+    ).run_suite("PCAP", jobs=2)
+    assert parallel == serial
+
+
+def test_declared_fingerprints_skip_content_hashing(tmp_path):
+    suite = _tiny_suite()
+    runner = ExperimentRunner(
+        suite, SimulationConfig(), artifact_cache=ArtifactCache(tmp_path)
+    )
+    runner.declare_fingerprints({"alpha": "seeded-alpha"})
+    runner.filtered("alpha")
+    assert runner._fingerprints["alpha"] == "seeded-alpha"
+    # Undeclared applications fall back to content fingerprinting.
+    runner.filtered("beta")
+    assert runner._fingerprints["beta"] == trace_fingerprint(suite["beta"])
+
+
+# ------------------------------------------------------- concurrency --
+
+
+def _store_entry(args: tuple[str, str, int]) -> bool:
+    root, key, _worker = args
+    cache = ArtifactCache(root)
+    # Every writer publishes the same logical value (as racing workers
+    # on a cold cache do); rename-into-place keeps each publish atomic.
+    cache.put(key, {"value": list(range(500))})
+    return cache.get(key)[0]
+
+
+def test_concurrent_writers_leave_readable_entry(tmp_path):
+    key = trace_key("alpha", 1.0)
+    with multiprocessing.get_context("fork").Pool(4) as pool:
+        outcomes = pool.map(
+            _store_entry, [(str(tmp_path), key, i) for i in range(8)]
+        )
+    assert all(outcomes)
+    cache = ArtifactCache(tmp_path)
+    hit, value = cache.get(key)
+    assert hit and value == {"value": list(range(500))}
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+# --------------------------------------------------------- resolution --
+
+
+def test_resolve_cache_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+    assert resolve_cache() is None
+    assert resolve_cache(tmp_path / "explicit") is not None
+
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "from-env"))
+    from_env = resolve_cache()
+    assert from_env is not None
+    assert from_env.root == tmp_path / "from-env"
+    # An explicit directory wins over the environment.
+    explicit = resolve_cache(tmp_path / "explicit")
+    assert explicit is not None and explicit.root == tmp_path / "explicit"
+
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, "")
+    assert resolve_cache() is None

@@ -1,0 +1,104 @@
+"""Benchmark report schema and the perf-regression gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    BenchResult,
+    PerfReport,
+    Regression,
+    compare_reports,
+    render_report,
+)
+
+
+def _report(mode="quick", scale=0.4, filter_best=0.002, sim_best=0.001):
+    report = PerfReport(mode=mode, scale=scale)
+    report.results["cache_filter"] = BenchResult(
+        name="cache_filter",
+        mean_s=filter_best * 1.2,
+        best_s=filter_best,
+        rounds=20,
+        items=688,
+    )
+    report.results["global_simulation"] = BenchResult(
+        name="global_simulation",
+        mean_s=sim_best * 1.2,
+        best_s=sim_best,
+        rounds=20,
+        items=94,
+    )
+    report.results["artifact_cache_cold"] = BenchResult(
+        name="artifact_cache_cold", mean_s=2.0, best_s=2.0, rounds=1
+    )
+    report.results["artifact_cache_warm"] = BenchResult(
+        name="artifact_cache_warm", mean_s=0.5, best_s=0.5, rounds=1
+    )
+    return report
+
+
+def test_report_json_roundtrip():
+    report = _report()
+    clone = PerfReport.from_json(report.to_json())
+    assert clone.mode == report.mode
+    assert clone.scale == report.scale
+    assert set(clone.results) == set(report.results)
+    for name, result in report.results.items():
+        other = clone.results[name]
+        assert (other.mean_s, other.best_s, other.rounds, other.items) == (
+            result.mean_s, result.best_s, result.rounds, result.items
+        )
+
+
+def test_gate_passes_within_tolerance():
+    baseline = _report()
+    # 20% slower on the gated metrics: inside the default 30% band.
+    current = _report(filter_best=0.0025, sim_best=0.00125)
+    assert compare_reports(current, baseline) == []
+
+
+def test_gate_flags_regression():
+    baseline = _report()
+    current = _report(filter_best=0.004)  # throughput halved
+    regressions = compare_reports(current, baseline)
+    assert [r.name for r in regressions] == ["cache_filter"]
+    assert regressions[0].drop == pytest.approx(0.5)
+
+
+def test_gate_ignores_ungated_benchmarks():
+    baseline = _report()
+    current = _report()
+    # The single-shot artifact-cache timings are informational only.
+    current.results["artifact_cache_warm"] = BenchResult(
+        name="artifact_cache_warm", mean_s=50.0, best_s=50.0, rounds=1
+    )
+    assert compare_reports(current, baseline) == []
+
+
+def test_gate_improvements_never_flagged():
+    baseline = _report()
+    current = _report(filter_best=0.0005, sim_best=0.0002)
+    assert compare_reports(current, baseline) == []
+
+
+def test_incomparable_reports_raise():
+    with pytest.raises(ValueError):
+        compare_reports(_report(mode="quick"), _report(mode="full"))
+    with pytest.raises(ValueError):
+        compare_reports(_report(scale=0.4), _report(scale=1.0))
+
+
+def test_regression_drop_metric():
+    regression = Regression(
+        name="cache_filter", baseline_ops=100.0, current_ops=60.0
+    )
+    assert regression.drop == pytest.approx(0.4)
+
+
+def test_render_report_mentions_every_benchmark():
+    text = render_report(_report(), baseline=_report())
+    assert "cache_filter" in text
+    assert "global_simulation" in text
+    assert "vs baseline" in text
+    assert "cold→warm speedup" in text

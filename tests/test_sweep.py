@@ -70,6 +70,39 @@ def test_sweep_point_fields(runner):
     assert point.delayed_requests >= point.irritating_delays >= 0
 
 
+def test_sweep_shares_baseline_across_predictor_knob_points(runner):
+    # The Base system never reads wait_window/timeout, so a sweep over a
+    # predictor knob needs exactly one baseline cell per application —
+    # not one per (point, application).
+    labels = []
+    points = sweep(
+        runner,
+        [1.0, 5.0, 20.0],
+        make_config=lambda t: SimulationConfig(timeout=t),
+        predictor="TP",
+        progress=lambda event: labels.append(event.cell.predictor),
+    )
+    assert len(points) == 3
+    assert labels.count("Base") == 1
+    assert len(labels) == 4  # 3 run cells + 1 shared baseline cell
+    # Every point's savings is computed against the same baseline.
+    assert all(point.savings <= points[0].savings for point in points)
+
+
+def test_sweep_recomputes_baseline_when_relevant_config_changes(runner):
+    # service_time feeds the baseline energy, so varying it must produce
+    # one fresh baseline per point.
+    labels = []
+    sweep(
+        runner,
+        [0.010, 0.020],
+        make_config=lambda s: SimulationConfig(service_time=s),
+        predictor="TP",
+        progress=lambda event: labels.append(event.cell.predictor),
+    )
+    assert labels.count("Base") == 2
+
+
 def test_render_sweep(runner):
     points = sweep(runner, [5.0],
                    make_config=lambda t: SimulationConfig(timeout=t),
