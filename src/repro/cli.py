@@ -10,16 +10,29 @@
     python -m repro generate --app mozilla --out traces.jsonl [--scale S]
     python -m repro import-strace trace.txt --app myapp [--predictor PCAP]
     python -m repro inspect traces.jsonl
+    python -m repro run --predictor PCAP --resume sweep.ckpt
+    python -m repro faults [--plan SPEC]
 
 Everything prints plain text; ``--chart`` switches the figure commands
 to ASCII stacked bars.
+
+``repro run`` is the resilient front end to the suite: per-cell retries
+and timeouts, terminal failures reported in a ledger instead of
+aborting, and ``--checkpoint``/``--resume`` journalling so an
+interrupted run re-executes only unfinished cells.  ``repro faults``
+replays a fault plan (default: the canned chaos scenario) against a
+small suite and verifies the run survives it; any command accepts a
+plan via ``$REPRO_FAULT_PLAN`` or ``--fault-plan`` where offered.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
+
+from repro import faults
 
 from repro.analysis.ascii_charts import (
     render_accuracy_chart,
@@ -327,6 +340,185 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _render_run_results(matrix) -> str:
+    lines = [
+        f"  {'application':<12s} {'predictor':<10s} {'coverage':>9s} "
+        f"{'misses':>7s} {'energy':>10s} {'shutdowns':>9s}"
+    ]
+    for application in sorted(matrix):
+        for name, result in matrix[application].items():
+            lines.append(
+                f"  {application:<12s} {name:<10s} "
+                f"{result.stats.hit_fraction:>8.1%} "
+                f"{result.stats.miss_fraction:>6.1%} "
+                f"{result.energy:>8.1f} J {result.shutdowns:>9d}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_run(args) -> int:
+    from repro.sim.resilience import ResiliencePolicy
+
+    predictors = args.predictor or ["PCAP"]
+    apps = tuple(args.app) if args.app else APPLICATIONS
+    runner = _runner(args, applications=apps)
+    if args.progress:
+        runner.progress = stderr_progress
+    policy = ResiliencePolicy(
+        max_attempts=args.retries + 1,
+        cell_timeout=args.cell_timeout,
+    )
+    checkpoint = args.resume or args.checkpoint
+    report = runner.run_matrix_resilient(
+        predictors,
+        applications=apps,
+        multistate=args.multistate,
+        policy=policy,
+        checkpoint=checkpoint,
+    )
+    print(f"resilient run: {len(predictors)} predictor(s) × "
+          f"{len(apps)} application(s), scale {args.scale}")
+    print(_render_run_results(report.matrix))
+    print()
+    print(report.ledger.render())
+    plan = faults.active()
+    if plan is not None and plan.fired:
+        print()
+        print(plan.render_fired())
+    if checkpoint:
+        print(f"checkpoint: {checkpoint} "
+              f"({report.ledger.resumed} cell(s) resumed)")
+    return 0 if report.complete else 1
+
+
+def _cmd_faults(args) -> int:
+    """Replay a fault plan against a small suite and verify survival."""
+    import tempfile
+
+    from repro.errors import TraceFormatError
+    from repro.sim.parallel import fork_available
+    from repro.sim.resilience import (
+        CANNED_CHAOS_PLAN,
+        ResiliencePolicy,
+        parse_fault_plan,
+    )
+
+    plan_text = args.plan or CANNED_CHAOS_PLAN
+    user_jobs = args.jobs
+    pooled = fork_available() and user_jobs != 1
+    if not pooled:
+        # Without forked workers a crash would take the whole process
+        # down; the in-process path exercises the same retry machinery
+        # with an injected exception instead.
+        plan_text = plan_text.replace("worker.crash", "worker.fail")
+    plan = parse_fault_plan(plan_text)
+    predictors = ["PCAP", "TP"]
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, ok, detail))
+
+    faults.clear()
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+
+        # 1. Fault-free serial baseline (also publishes cache entries,
+        #    so the faulted run has artifacts for cache.corrupt-read).
+        args.cache_dir = cache_dir
+        args.jobs = 1
+        baseline_runner = _runner(args)
+        baseline = baseline_runner.run_matrix(predictors)
+
+        # 2. The trace format segment: a malformed-line fault must
+        #    surface as a clean TraceFormatError, not a crash.
+        trace_path = os.path.join(tmp, "trace.jsonl")
+        suite = build_suite(scale=args.scale, applications=("mozilla",))
+        with open(trace_path, "w", encoding="utf-8") as stream:
+            write_application_trace(suite["mozilla"], stream)
+        faults.install(plan)
+        try:
+            with open(trace_path, "r", encoding="utf-8") as stream:
+                read_application_trace(stream)
+        except TraceFormatError as error:
+            check("trace corruption surfaces as TraceFormatError", True,
+                  str(error))
+        else:
+            check("trace corruption surfaces as TraceFormatError",
+                  plan.specs_for(faults.TRACE_MALFORMED_LINE) == (),
+                  "no error raised")
+
+        # 3. The faulted resilient run, on a fresh runner sharing the
+        #    warmed cache (so corrupt-read faults hit real entries).
+        if pooled:
+            args.jobs = max(2, user_jobs or 0)
+        else:
+            args.jobs = 1
+        runner = _runner(args)
+        if args.progress:
+            runner.progress = stderr_progress
+        policy = ResiliencePolicy(
+            max_attempts=2, cell_timeout=args.cell_timeout
+        )
+        report = runner.run_matrix_resilient(
+            predictors, policy=policy
+        )
+        faults.clear()
+        ledger = report.ledger
+
+        # 4. Verdicts.
+        crash_cells = {
+            spec.cell
+            for site in (faults.WORKER_CRASH, faults.WORKER_FAIL)
+            for spec in plan.specs_for(site)
+            if spec.cell is not None and spec.attempts >= policy.max_attempts
+        }
+        check(
+            "run completed with a full ledger",
+            len(ledger.outcomes)
+            == len(predictors) * len(baseline_runner.applications),
+        )
+        check(
+            "terminally faulted cells reported as failures",
+            {f.cell.index for f in ledger.failures} == crash_cells,
+            f"failed cells {sorted(f.cell.index for f in ledger.failures)}, "
+            f"expected {sorted(crash_cells)}",
+        )
+        check("failure ledger is non-empty" if crash_cells
+              else "no terminal failures expected",
+              bool(ledger.failures) == bool(crash_cells))
+        check("retries were recorded", bool(ledger.retries),
+              f"{len(ledger.retries)} failed attempt(s)")
+        healthy_identical = True
+        compared = 0
+        for application, row in report.matrix.items():
+            for name, result in row.items():
+                compared += 1
+                if baseline[application][name] != result:
+                    healthy_identical = False
+        check(
+            "healthy cells bit-identical to the fault-free baseline",
+            healthy_identical and compared > 0,
+            f"{compared} cell(s) compared",
+        )
+
+    print(f"fault plan: {plan_text}")
+    print(f"mode: {'pooled' if pooled else 'in-process'} "
+          f"(jobs={args.jobs}, cell timeout {args.cell_timeout:g} s)")
+    print()
+    print(ledger.render())
+    print()
+    failed = [name for name, ok, _ in checks if not ok]
+    for name, ok, detail in checks:
+        suffix = f" ({detail})" if detail else ""
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}{suffix}")
+    print()
+    if failed:
+        print(f"chaos verdict: FAIL ({len(failed)} check(s) failed)")
+        return 1
+    print("chaos verdict: OK — the suite survived the fault plan")
+    return 0
+
+
 def _cmd_inspect(args) -> int:
     with open(args.input, "r", encoding="utf-8") as stream:
         trace = read_application_trace(stream)
@@ -439,6 +631,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_inspect)
 
     p = sub.add_parser(
+        "run",
+        help="resilient suite run: retries, timeouts, checkpoint/resume",
+    )
+    p.add_argument("--predictor", action="append", choices=KNOWN_PREDICTORS,
+                   metavar="NAME",
+                   help="predictor to run (repeatable; default: PCAP)")
+    p.add_argument("--app", action="append", choices=APPLICATIONS,
+                   help="application subset (repeatable; default: all)")
+    p.add_argument("--multistate", action="store_true",
+                   help="enable the §7 low-power idle state")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per cell after the first attempt "
+                        "(default 2)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SEC",
+                   help="per-cell wall-clock timeout (default: none)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="journal completed cells to FILE (append-only "
+                        "JSON lines)")
+    p.add_argument("--resume", metavar="FILE",
+                   help="resume from FILE: skip cells already journalled "
+                        "there, keep journalling new ones")
+    p.add_argument("--fault-plan", metavar="SPEC",
+                   help="inject faults per SPEC (see repro.faults; "
+                        "$REPRO_FAULT_PLAN works for every command)")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "faults",
+        help="replay a fault plan and verify the pipeline survives it",
+    )
+    p.add_argument("--plan", metavar="SPEC",
+                   help="fault plan to replay (default: the canned chaos "
+                        "scenario — worker crash, hung cell, corrupted "
+                        "cache entry, malformed trace line)")
+    p.add_argument("--cell-timeout", type=float, default=5.0, metavar="SEC",
+                   help="per-cell wall-clock timeout (default 5)")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
         "bench",
         help="run the throughput benchmarks and the perf-regression gate",
     )
@@ -465,6 +699,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        plan_text = getattr(args, "fault_plan", None)
+        if not plan_text and args.command != "faults":
+            # The faults command manages its own plan (it must run the
+            # fault-free baseline first).
+            plan_text = os.environ.get(faults.FAULT_PLAN_ENV_VAR)
+        if plan_text:
+            faults.install(faults.parse_fault_plan(plan_text))
         return args.fn(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -473,6 +714,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {error.strerror or error}: "
               f"{getattr(error, 'filename', '')}", file=sys.stderr)
         return 1
+    finally:
+        faults.clear()
 
 
 if __name__ == "__main__":  # pragma: no cover

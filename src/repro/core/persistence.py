@@ -14,14 +14,23 @@ as lists and restores them losslessly.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Union
 
+from repro import faults
 from repro.core.table import PredictionTable, TableKey
 from repro.errors import PersistenceError
 
 #: Schema version written into every file.
 FORMAT_VERSION = 1
+
+#: Transient ``OSError`` attempts per file operation.  Initialization
+#: files live on ordinary filesystems where EIO/EAGAIN are almost always
+#: momentary; a short bounded retry masks them without hiding a dead
+#: disk (the final failure still surfaces as :class:`PersistenceError`).
+IO_ATTEMPTS = 3
+_IO_RETRY_DELAY = 0.01
 
 _JsonKey = Union[int, list]
 
@@ -77,17 +86,49 @@ def load_table(text: str) -> tuple[PredictionTable, str]:
     return table, application
 
 
+def _retry_io(path: Union[str, Path], operation: str, action):
+    """Run ``action`` with up to :data:`IO_ATTEMPTS` transient retries.
+
+    ``faults.persistence_gate`` is consulted before every attempt so a
+    fault plan can inject transient (or persistent) ``OSError`` at this
+    site; real ``OSError`` from the filesystem retries identically.
+    """
+    last: OSError | None = None
+    for attempt in range(1, IO_ATTEMPTS + 1):
+        try:
+            faults.persistence_gate(path, operation)
+            return action()
+        except OSError as exc:
+            last = exc
+            if attempt < IO_ATTEMPTS:
+                time.sleep(_IO_RETRY_DELAY * attempt)
+    raise PersistenceError(
+        f"cannot {operation} table file {path} "
+        f"after {IO_ATTEMPTS} attempts"
+    ) from last
+
+
 def save_table_file(
     table: PredictionTable, application: str, path: Union[str, Path]
 ) -> None:
-    """Write the table to ``path`` (the app's initialization file)."""
-    Path(path).write_text(dump_table(table, application), encoding="utf-8")
+    """Write the table to ``path`` (the app's initialization file).
+
+    Transient ``OSError`` is retried up to :data:`IO_ATTEMPTS` times;
+    a persistent failure raises :class:`PersistenceError`.
+    """
+    text = dump_table(table, application)
+    _retry_io(
+        path, "write", lambda: Path(path).write_text(text, encoding="utf-8")
+    )
 
 
 def load_table_file(path: Union[str, Path]) -> tuple[PredictionTable, str]:
-    """Read a table saved by :func:`save_table_file`."""
-    try:
-        text = Path(path).read_text(encoding="utf-8")
-    except OSError as exc:
-        raise PersistenceError(f"cannot read table file {path}") from exc
+    """Read a table saved by :func:`save_table_file`.
+
+    Transient ``OSError`` is retried up to :data:`IO_ATTEMPTS` times;
+    a persistent failure raises :class:`PersistenceError`.
+    """
+    text = _retry_io(
+        path, "read", lambda: Path(path).read_text(encoding="utf-8")
+    )
     return load_table(text)

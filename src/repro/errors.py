@@ -39,3 +39,25 @@ class PredictorError(ReproError):
 
 class PersistenceError(ReproError):
     """A saved prediction table could not be loaded or written."""
+
+
+class ExecutionError(ReproError):
+    """The experiment execution layer could not complete a run (terminal
+    cell failures, a broken worker pool, ...)."""
+
+
+class CellTimeoutError(ExecutionError):
+    """One experiment cell exceeded its wall-clock timeout."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died without reporting a result."""
+
+
+class InjectedFault(ReproError):
+    """A deliberate failure raised by the fault-injection harness
+    (:mod:`repro.faults`); never raised outside an active fault plan."""
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault-plan specification could not be parsed or is illegal."""

@@ -1,0 +1,399 @@
+"""Deterministic fault injection for the experiment pipeline.
+
+The recovery paths this repository ships — artifact-cache corruption
+recovery, trace parse errors, worker retry/timeout handling in the
+resilient executor — need a way to be exercised *deliberately*, in tests
+and in CI, without monkeypatching internals.  This module provides that:
+a :class:`FaultPlan` is a seedable, fully deterministic specification of
+faults to inject at named sites, activated process-wide via
+:func:`install` (the CLI wires the ``REPRO_FAULT_PLAN`` environment
+variable and ``--fault-plan`` to it).
+
+Sites
+-----
+
+====================== ====================================================
+``worker.crash``       a forked worker process hard-exits (``os._exit``)
+                       before reporting its cell; fires only inside real
+                       worker processes (in-process execution survives,
+                       which is what makes pool→in-process degradation
+                       meaningful)
+``worker.hang``        the worker sleeps ``seconds`` before running the
+                       cell, tripping the executor's per-cell timeout
+``worker.fail``        the cell raises :class:`~repro.errors.InjectedFault`
+                       (works in workers and in-process alike)
+``cache.corrupt-read`` an existing artifact-cache entry is truncated just
+                       before it is read (exercises quarantine+recompute)
+``cache.torn-write``   an artifact-cache store publishes a truncated
+                       (torn) entry
+``trace.malformed-line`` one serialized trace line is corrupted before
+                       parsing (exercises ``TraceFormatError`` reporting)
+``persist.os-error``   table persistence I/O raises a transient
+                       ``OSError`` (exercises the bounded retry)
+====================== ====================================================
+
+Selection is deterministic.  Worker sites match on the cell's stable
+``index`` (and optionally application) plus the attempt number — never
+on scheduling order — so a plan injects the same faults no matter how a
+pool interleaves cells.  The other sites count matching invocations in
+the installing process and fire on the ``at``-th (``count`` consecutive
+times).
+
+Plan text grammar (specs separated by ``;``, arguments by ``,``)::
+
+    worker.crash,cell=3,attempts=99; worker.hang,cell=7,seconds=15;
+    cache.corrupt-read,at=1; seed=7
+
+Every hook is a no-op costing one ``None`` check when no plan is
+installed, so production paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import FaultPlanError, InjectedFault
+
+#: Environment variable holding the default fault-plan text.
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit code of injected worker crashes (recognizable in failure ledgers).
+CRASH_EXIT_CODE = 86
+
+WORKER_CRASH = "worker.crash"
+WORKER_HANG = "worker.hang"
+WORKER_FAIL = "worker.fail"
+CACHE_CORRUPT_READ = "cache.corrupt-read"
+CACHE_TORN_WRITE = "cache.torn-write"
+TRACE_MALFORMED_LINE = "trace.malformed-line"
+PERSIST_OS_ERROR = "persist.os-error"
+
+#: Every site a plan may name.
+SITES = frozenset({
+    WORKER_CRASH,
+    WORKER_HANG,
+    WORKER_FAIL,
+    CACHE_CORRUPT_READ,
+    CACHE_TORN_WRITE,
+    TRACE_MALFORMED_LINE,
+    PERSIST_OS_ERROR,
+})
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``cell``/``application`` narrow worker-site matches to one cell;
+    ``attempts`` makes the fault fire on attempts ``1..attempts`` of
+    that cell (``99`` ≈ every attempt, i.e. a terminal fault).  ``at``
+    and ``count`` select the firing window of counter-based sites.
+    ``seconds`` is the ``worker.hang`` sleep.
+    """
+
+    site: str
+    cell: Optional[int] = None
+    application: Optional[str] = None
+    attempts: int = 1
+    at: int = 1
+    count: int = 1
+    seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.at < 1 or self.count < 1 or self.attempts < 0:
+            raise FaultPlanError(
+                "fault spec needs at >= 1, count >= 1, attempts >= 0"
+            )
+        if self.seconds <= 0:
+            raise FaultPlanError("hang seconds must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRecord:
+    """One fault that actually fired (the plan's own ledger)."""
+
+    site: str
+    cell: Optional[int]
+    application: Optional[str]
+    attempt: Optional[int]
+    invocation: Optional[int]
+
+
+class FaultPlan:
+    """A parsed fault plan: specs plus per-spec firing state.
+
+    The plan records every fault it fires in :attr:`fired`.  Faults
+    fired inside forked worker processes are recorded in the child's
+    (copy-on-write) plan and are therefore *not* visible in the parent's
+    ledger — the resilient executor's retry ledger captures their effect
+    instead.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.fired: list[FaultRecord] = []
+        self._counters = [0] * len(self.specs)
+
+    def match(
+        self,
+        site: str,
+        *,
+        cell: Optional[int] = None,
+        application: Optional[str] = None,
+        attempt: Optional[int] = None,
+    ) -> Optional[FaultSpec]:
+        """The first spec firing at this invocation of ``site``, if any.
+
+        With ``attempt`` context (worker sites) the decision is purely a
+        function of (cell, application, attempt); otherwise the spec's
+        matching-invocation counter decides.
+        """
+        for position, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.cell is not None and spec.cell != cell:
+                continue
+            if (spec.application is not None
+                    and spec.application != application):
+                continue
+            if attempt is not None:
+                if attempt > spec.attempts:
+                    continue
+                invocation = None
+            else:
+                self._counters[position] += 1
+                invocation = self._counters[position]
+                if not (spec.at <= invocation < spec.at + spec.count):
+                    continue
+            self.fired.append(FaultRecord(
+                site=site, cell=cell, application=application,
+                attempt=attempt, invocation=invocation,
+            ))
+            return spec
+        return None
+
+    def specs_for(self, site: str) -> tuple[FaultSpec, ...]:
+        """Every spec of the plan targeting ``site``."""
+        return tuple(spec for spec in self.specs if spec.site == site)
+
+    def render_fired(self) -> str:
+        """Human-readable list of the faults this plan fired."""
+        if not self.fired:
+            return "fault plan: no faults fired"
+        lines = [f"fault plan: {len(self.fired)} fault(s) fired"]
+        for record in self.fired:
+            where = []
+            if record.cell is not None:
+                where.append(f"cell {record.cell}")
+            if record.application is not None:
+                where.append(record.application)
+            if record.attempt is not None:
+                where.append(f"attempt {record.attempt}")
+            if record.invocation is not None:
+                where.append(f"invocation {record.invocation}")
+            lines.append(
+                f"  {record.site} ({', '.join(where) or 'unscoped'})"
+            )
+        return "\n".join(lines)
+
+
+_INT_ARGS = {"cell", "attempts", "at", "count"}
+_FLOAT_ARGS = {"seconds"}
+_STR_ARGS = {"app"}
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse plan text (see the module docstring for the grammar)."""
+    specs: list[FaultSpec] = []
+    seed = 0
+    for token in text.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        parts = [part.strip() for part in token.split(",")]
+        head = parts[0]
+        if "=" in head:
+            name, _, raw = head.partition("=")
+            if name.strip() != "seed" or len(parts) > 1:
+                raise FaultPlanError(
+                    f"malformed fault spec {token!r} (expected "
+                    "'site,arg=value,...' or 'seed=N')"
+                )
+            try:
+                seed = int(raw)
+            except ValueError:
+                raise FaultPlanError(f"seed must be an integer, got {raw!r}")
+            continue
+        kwargs: dict[str, object] = {}
+        for part in parts[1:]:
+            name, sep, raw = part.partition("=")
+            name = name.strip()
+            raw = raw.strip()
+            if not sep:
+                raise FaultPlanError(
+                    f"malformed argument {part!r} in spec {token!r}"
+                )
+            try:
+                if name in _INT_ARGS:
+                    kwargs[name] = int(raw)
+                elif name in _FLOAT_ARGS:
+                    kwargs[name] = float(raw)
+                elif name in _STR_ARGS:
+                    kwargs["application"] = raw
+                else:
+                    raise FaultPlanError(
+                        f"unknown argument {name!r} in spec {token!r}"
+                    )
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad value {raw!r} for {name!r} in spec {token!r}"
+                )
+        specs.append(FaultSpec(site=head, **kwargs))  # type: ignore[arg-type]
+    return FaultPlan(specs, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide activation.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+_IN_WORKER = False
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` process-wide (forked children inherit it)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    """Deactivate any installed plan."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager installing ``plan`` for the duration of a block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, or ``None`` when unset."""
+    text = os.environ.get(FAULT_PLAN_ENV_VAR)
+    if not text:
+        return None
+    return parse_fault_plan(text)
+
+
+def mark_worker_process() -> None:
+    """Declare this process a pool worker (enables ``worker.crash``)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker_process() -> bool:
+    return _IN_WORKER
+
+
+# ---------------------------------------------------------------------------
+# Site hooks (each is a cheap no-op without an installed plan).
+# ---------------------------------------------------------------------------
+
+
+def worker_gate(cell_index: int, application: str, attempt: int) -> None:
+    """Fault site guarding one cell attempt (crash / hang / fail)."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    if _IN_WORKER and plan.match(
+        WORKER_CRASH, cell=cell_index, application=application,
+        attempt=attempt,
+    ) is not None:
+        os._exit(CRASH_EXIT_CODE)
+    spec = plan.match(
+        WORKER_HANG, cell=cell_index, application=application,
+        attempt=attempt,
+    )
+    if spec is not None:
+        time.sleep(spec.seconds)
+    if plan.match(
+        WORKER_FAIL, cell=cell_index, application=application,
+        attempt=attempt,
+    ) is not None:
+        raise InjectedFault(
+            f"injected worker failure (cell {cell_index} {application}, "
+            f"attempt {attempt})"
+        )
+
+
+def _truncate_file(path: str) -> None:
+    size = os.path.getsize(path)
+    with open(path, "r+b") as stream:
+        stream.truncate(size // 2)
+
+
+def corrupt_cache_read(path: os.PathLike[str] | str) -> None:
+    """Fault site: truncate an existing cache entry before it is read."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    target = os.fspath(path)
+    if not os.path.exists(target):
+        return
+    if plan.match(CACHE_CORRUPT_READ) is not None:
+        _truncate_file(target)
+
+
+def tear_cache_write(path: os.PathLike[str] | str) -> None:
+    """Fault site: truncate a cache temp file before it is published."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    if plan.match(CACHE_TORN_WRITE) is not None:
+        _truncate_file(os.fspath(path))
+
+
+def corrupt_trace_line(plan: FaultPlan, line: str) -> str:
+    """Fault site: return ``line`` possibly corrupted into invalid JSON.
+
+    The caller passes the active plan explicitly so the per-line cost
+    without a plan is a single ``None`` check in the parse loop.
+    """
+    if plan.match(TRACE_MALFORMED_LINE) is None:
+        return line
+    # Dropping the final character always unbalances a JSON object.
+    return line.rstrip()[:-1] or "{"
+
+
+def persistence_gate(path: os.PathLike[str] | str, operation: str) -> None:
+    """Fault site: raise a transient ``OSError`` on persistence I/O."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    if plan.match(PERSIST_OS_ERROR) is not None:
+        raise OSError(
+            errno.EIO,
+            f"injected transient I/O error ({operation})",
+            os.fspath(path),
+        )

@@ -21,9 +21,12 @@ worker processes — skip straight to the simulation:
   (parallel workers racing on a cold cache) each publish an identical
   artifact; last rename wins and no locking is needed.
 * **Corruption recovery.**  A truncated or unreadable entry (killed
-  writer that bypassed the temp-file protocol, disk corruption) is
-  treated as a miss: the entry is unlinked best-effort and the caller
-  recomputes and rewrites it.
+  writer that bypassed the temp-file protocol, disk corruption, a torn
+  write) is treated as a miss: the entry is *quarantined* — renamed
+  aside with a ``.corrupt`` suffix so the evidence survives for
+  inspection (unlinked as a fallback) — and the caller recomputes and
+  rewrites it.  The :mod:`repro.faults` sites ``cache.corrupt-read``
+  and ``cache.torn-write`` exercise this path deliberately.
 
 The cache is opt-in: pass ``--cache-dir`` on the CLI or set the
 ``REPRO_CACHE_DIR`` environment variable.  Cached artifacts are the
@@ -41,6 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from repro import faults
 from repro.cache.page_cache import CacheConfig
 from repro.traces.events import (
     AccessType,
@@ -71,6 +75,8 @@ class ArtifactCacheStats:
     stores: int = 0
     #: Entries found on disk but unreadable (treated as misses).
     corrupt: int = 0
+    #: Corrupt entries renamed aside (``.corrupt``) for inspection.
+    quarantined: int = 0
 
 
 class ArtifactCache:
@@ -89,13 +95,33 @@ class ArtifactCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``<entry>.pkl.corrupt``).
+
+        Renaming instead of unlinking keeps the evidence for post-mortem
+        inspection while still clearing the key for the recompute; if
+        the rename fails the entry is unlinked best-effort.
+        """
+        self.stats.corrupt += 1
+        aside = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, aside)
+            self.stats.quarantined += 1
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def get(self, key: str) -> tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss.
 
-        Any failure to read or unpickle counts as a miss; the offending
-        entry is removed best-effort so the recompute can replace it.
+        Any failure to read or unpickle counts as a miss — never an
+        exception to the caller; the offending entry is quarantined so
+        the recompute can replace it.
         """
         path = self.path_for(key)
+        faults.corrupt_cache_read(path)
         try:
             with open(path, "rb") as stream:
                 value = pickle.load(stream)
@@ -104,12 +130,8 @@ class ArtifactCache:
             return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
-            self.stats.corrupt += 1
             self.stats.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._quarantine(path)
             return False, None
         self.stats.hits += 1
         return True, value
@@ -124,6 +146,7 @@ class ArtifactCache:
         try:
             with os.fdopen(fd, "wb") as stream:
                 pickle.dump(value, stream, protocol=_PICKLE_PROTOCOL)
+            faults.tear_cache_write(tmp_name)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -155,11 +178,7 @@ class ArtifactCache:
             # treat like any other corruption.
             self.stats.hits -= 1
             self.stats.misses += 1
-            self.stats.corrupt += 1
-            try:
-                os.unlink(self.path_for(key))
-            except OSError:
-                pass
+            self._quarantine(self.path_for(key))
             return None
 
     def put_trace(self, key: str, trace: ApplicationTrace) -> None:

@@ -135,6 +135,23 @@ class ExperimentRunner:
         """
         self._fingerprints.update(fingerprints)
 
+    def fingerprint(self, application: str) -> str:
+        """Content fingerprint of one application's trace (memoized).
+
+        Pre-seeded fingerprints (:meth:`declare_fingerprints`) win;
+        otherwise the trace's events are hashed once and remembered.
+        Artifact-cache keys and checkpoint cell keys
+        (:func:`repro.sim.resilience.cell_key`) are both derived from
+        this value.
+        """
+        fingerprint = self._fingerprints.get(application)
+        if fingerprint is None:
+            from repro.sim.artifact_cache import trace_fingerprint
+
+            fingerprint = trace_fingerprint(self._trace(application))
+            self._fingerprints[application] = fingerprint
+        return fingerprint
+
     def filtered(self, application: str) -> list[FilterResult]:
         """Cache-filtered executions of one application (memoized).
 
@@ -156,15 +173,9 @@ class ExperimentRunner:
                 for execution in trace
             ]
         else:
-            from repro.sim.artifact_cache import (
-                filter_key,
-                trace_fingerprint,
-            )
+            from repro.sim.artifact_cache import filter_key
 
-            fingerprint = self._fingerprints.get(application)
-            if fingerprint is None:
-                fingerprint = trace_fingerprint(trace)
-                self._fingerprints[application] = fingerprint
+            fingerprint = self.fingerprint(application)
             cache_config = self.config.cache
             results = []
             for execution in trace:
@@ -302,22 +313,36 @@ class ExperimentRunner:
         applications: Optional[Sequence[str]] = None,
         multistate: bool = False,
         jobs: Optional[int] = None,
+        checkpoint=None,
+        resilience=None,
     ) -> dict[str, ApplicationResult]:
         """One predictor's global run over many applications.
 
         ``jobs`` > 1 hands the (application) cells to the parallel
         execution layer (:mod:`repro.sim.parallel`); the merged mapping
         is identical to the serial one either way.
+
+        ``checkpoint`` (a :class:`~repro.sim.resilience.CellCheckpoint`
+        or a path) journals every completed cell to an append-only JSONL
+        file and skips cells already recorded there, so an interrupted
+        suite resumes instead of restarting; ``resilience`` (a
+        :class:`~repro.sim.resilience.ResiliencePolicy`) adds per-cell
+        retries and timeouts.  With either set, terminal cell failures
+        raise :class:`~repro.errors.ExecutionError` *after* the
+        completed cells were journalled — use
+        :meth:`~repro.sim.parallel.ParallelExperimentRunner.run_suite_resilient`
+        for a partial report instead of an exception.
         """
         apps = list(applications) if applications else self.applications
-        if jobs is not None and jobs != 1:
+        resilient = checkpoint is not None or resilience is not None
+        if resilient or (jobs is not None and jobs != 1):
             # Imported lazily: repro.sim.parallel imports this module.
             from repro.sim.parallel import ParallelExperimentRunner
 
             clone = ParallelExperimentRunner(
                 self.suite,
                 self.config,
-                jobs=jobs,
+                jobs=1 if jobs is None else jobs,
                 tracing=self.tracing,
                 trace_capacity=self.trace_capacity,
                 artifact_cache=self.artifact_cache,
@@ -326,9 +351,22 @@ class ExperimentRunner:
             clone._fingerprints = self._fingerprints
             if isinstance(predictor, PredictorSpec):
                 raise SimulationError(
-                    "parallel run_suite needs a predictor name (specs are "
-                    "stateful and cannot be shared across workers)"
+                    "parallel or resilient run_suite needs a predictor "
+                    "name (specs are stateful and cannot be shared "
+                    "across workers)"
                 )
+            if resilient:
+                from repro.sim.resilience import raise_on_failures
+
+                report = clone.run_suite_resilient(
+                    predictor,
+                    applications=apps,
+                    multistate=multistate,
+                    policy=resilience,
+                    checkpoint=checkpoint,
+                )
+                raise_on_failures(report.ledger, "suite run")
+                return report.results
             return clone.run_suite(
                 predictor, applications=apps, multistate=multistate
             )

@@ -41,6 +41,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro import faults
 from repro.config import SimulationConfig, default_jobs
 from repro.sim.experiment import ApplicationResult, ExperimentRunner
 from repro.traces.trace import ApplicationTrace
@@ -79,12 +80,25 @@ class CellResult:
 
 @dataclass(frozen=True, slots=True)
 class CellProgress:
-    """Progress event fired once per completed cell."""
+    """Progress event fired per completed cell (and, under the resilient
+    executor, per failed attempt).
+
+    ``attempt`` is the attempt number the event reports on (0 for a
+    cell restored from a checkpoint); ``outcome`` is ``"ok"``,
+    ``"retry"`` (a failed attempt that will be retried), ``"failed"``
+    (terminal failure), or ``"resumed"``; ``degraded`` is set once the
+    resilient executor has fallen back from the worker pool to
+    in-process execution.  Plain :func:`execute_cells` always reports
+    ``attempt=1, outcome="ok"``.
+    """
 
     cell: ExperimentCell
     wall_time: float
     completed: int
     total: int
+    attempt: int = 1
+    outcome: str = "ok"
+    degraded: bool = False
 
 
 #: Signature of a progress hook.
@@ -92,11 +106,26 @@ ProgressHook = Callable[[CellProgress], None]
 
 
 def stderr_progress(event: CellProgress) -> None:
-    """A ready-made progress hook: one line per cell on stderr."""
+    """A ready-made progress hook: one line per cell on stderr.
+
+    Retries and failures from the resilient executor are annotated so
+    long runs show what the recovery machinery is doing.
+    """
+    marker = ""
+    if event.outcome == "resumed":
+        marker = " (resumed from checkpoint)"
+    elif event.attempt > 1:
+        marker = f" [attempt {event.attempt}]"
+    if event.outcome == "retry":
+        marker += " RETRYING"
+    elif event.outcome == "failed":
+        marker += " FAILED"
+    if event.degraded:
+        marker += " [degraded: in-process]"
     print(
         f"  [{event.completed}/{event.total}] "
         f"{event.cell.application} × {event.cell.predictor} "
-        f"({event.wall_time:.2f} s)",
+        f"({event.wall_time:.2f} s){marker}",
         file=sys.stderr,
     )
 
@@ -124,6 +153,7 @@ def _worker_invoke(cell: ExperimentCell) -> tuple[ApplicationResult, float]:
     """Run one cell inside a pool worker (timed)."""
     assert _WORKER_RUN_CELL is not None, "worker forked without a cell runner"
     start = time.perf_counter()
+    faults.worker_gate(cell.index, cell.application, 1)
     result = _WORKER_RUN_CELL(cell)
     return result, time.perf_counter() - start
 
@@ -136,6 +166,7 @@ def _execute_serial(
     out: list[CellResult] = []
     for completed, cell in enumerate(cells, start=1):
         start = time.perf_counter()
+        faults.worker_gate(cell.index, cell.application, 1)
         result = run_cell(cell)
         wall = time.perf_counter() - start
         out.append(CellResult(cell=cell, result=result, wall_time=wall))
@@ -171,25 +202,41 @@ def execute_cells(
     try:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
+            max_workers=workers,
+            mp_context=context,
+            initializer=faults.mark_worker_process,
         ) as pool:
             futures = {
                 pool.submit(_worker_invoke, cell): position
                 for position, cell in enumerate(cell_list)
             }
             completed = 0
-            for future in as_completed(futures):
-                position = futures[future]
-                result, wall = future.result()
-                cell = cell_list[position]
-                out[position] = CellResult(
-                    cell=cell, result=result, wall_time=wall
-                )
-                completed += 1
-                if progress is not None:
-                    progress(
-                        CellProgress(cell, wall, completed, len(cell_list))
+            try:
+                for future in as_completed(futures):
+                    position = futures[future]
+                    result, wall = future.result()
+                    cell = cell_list[position]
+                    out[position] = CellResult(
+                        cell=cell, result=result, wall_time=wall
                     )
+                    completed += 1
+                    if progress is not None:
+                        progress(
+                            CellProgress(
+                                cell, wall, completed, len(cell_list)
+                            )
+                        )
+            except BaseException:
+                # One bad cell must not leave the run wedged: cancel
+                # every future that has not started (exiting the `with`
+                # block alone would still *run* queued cells) and shut
+                # the pool down before propagating.  The resilient
+                # executor (repro.sim.resilience) is the recovery path;
+                # this one stays fail-fast but clean.
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
     finally:
         _WORKER_RUN_CELL = None
     assert all(item is not None for item in out)
@@ -318,3 +365,107 @@ class ParallelExperimentRunner(ExperimentRunner):
             row = matrix.setdefault(item.cell.application, {})
             row[item.cell.predictor] = item.result
         return matrix
+
+    def run_matrix_resilient(
+        self,
+        predictors: Sequence[str],
+        *,
+        mode: str = "global",
+        applications: Optional[Sequence[str]] = None,
+        multistate: bool = False,
+        jobs: Optional[int] = None,
+        policy=None,
+        checkpoint=None,
+    ):
+        """A matrix run that survives crashed, hung, or failing cells.
+
+        The resilient counterpart of :meth:`run_matrix`: cells are
+        executed through :func:`repro.sim.resilience.run_cells` under
+        ``policy`` (retries, per-cell timeouts, pool degradation) and
+        the returned :class:`~repro.sim.resilience.MatrixReport` carries
+        the partial matrix plus the failure/retry ledger.  With
+        ``checkpoint`` (a :class:`~repro.sim.resilience.CellCheckpoint`
+        or a path) completed cells are journalled and skipped on
+        re-runs.  On the all-success path the matrix is bit-identical
+        to :meth:`run_matrix`.
+        """
+        from repro.sim.resilience import MatrixReport, cell_key, run_cells
+
+        if mode not in ("global", "local"):
+            raise ValueError(f"unknown mode {mode!r}")
+        apps = list(applications) if applications else self.applications
+        names = list(predictors)
+        cells = [
+            ExperimentCell(
+                index=len(names) * row + column,
+                application=application,
+                predictor=name,
+            )
+            for row, application in enumerate(apps)
+            for column, name in enumerate(names)
+        ]
+
+        def run_cell(cell: ExperimentCell) -> ApplicationResult:
+            if mode == "local":
+                return self.run_local(cell.application, cell.predictor)
+            return self.run_global(
+                cell.application, cell.predictor, multistate=multistate
+            )
+
+        self.prewarm(apps)
+        keys = None
+        if checkpoint is not None:
+            keys = [
+                cell_key(
+                    self.fingerprint(cell.application),
+                    cell.predictor,
+                    self.config,
+                    mode=mode,
+                    multistate=multistate,
+                )
+                for cell in cells
+            ]
+        ledger = run_cells(
+            cells,
+            run_cell,
+            jobs=self.jobs if jobs is None else jobs,
+            policy=policy,
+            progress=self.progress,
+            checkpoint=checkpoint,
+            cell_keys=keys,
+        )
+        matrix: dict[str, dict[str, ApplicationResult]] = {}
+        for item in ledger.results:
+            row = matrix.setdefault(item.cell.application, {})
+            row[item.cell.predictor] = item.result
+        return MatrixReport(matrix=matrix, ledger=ledger)
+
+    def run_suite_resilient(
+        self,
+        predictor: str,
+        *,
+        applications: Optional[Sequence[str]] = None,
+        mode: str = "global",
+        multistate: bool = False,
+        jobs: Optional[int] = None,
+        policy=None,
+        checkpoint=None,
+    ):
+        """One predictor over many applications, resiliently."""
+        from repro.sim.resilience import SuiteReport
+
+        report = self.run_matrix_resilient(
+            [predictor],
+            mode=mode,
+            applications=applications,
+            multistate=multistate,
+            jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+        )
+        results = {
+            app: row[predictor]
+            for app, row in report.matrix.items()
+            if predictor in row
+        }
+        return SuiteReport(results=results, ledger=report.ledger)

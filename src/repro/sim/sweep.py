@@ -81,6 +81,8 @@ def sweep(
     applications: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
+    resilience=None,
+    checkpoint=None,
 ) -> list[SweepPoint]:
     """Run one predictor across the suite for each parameter value.
 
@@ -94,6 +96,17 @@ def sweep(
     ``jobs`` selects the worker count of the parallel execution layer
     (``None`` defers to ``REPRO_JOBS``); ``progress`` receives one
     :class:`~repro.sim.parallel.CellProgress` event per finished cell.
+
+    ``checkpoint`` (a :class:`~repro.sim.resilience.CellCheckpoint` or
+    a path) journals every completed cell so a killed sweep can be
+    rerun with the same checkpoint and re-execute only the unfinished
+    cells; ``resilience`` (a
+    :class:`~repro.sim.resilience.ResiliencePolicy`) adds per-cell
+    retries and timeouts.  Cells still failing terminally raise
+    :class:`~repro.errors.ExecutionError` *after* the completed cells
+    were journalled.  Checkpoint cell keys embed the swept value (via
+    the cell label) and the point's full configuration, so a changed
+    sweep never resumes from stale entries.
     """
     if make_config is not None and make_spec is not None:
         raise ValueError("pass make_config or make_spec, not both")
@@ -162,7 +175,38 @@ def sweep(
     for application in apps:
         runner.filtered(application)
 
-    results = execute_cells(cells, run_cell, jobs=jobs, progress=progress)
+    if resilience is not None or checkpoint is not None:
+        from repro.sim.resilience import (
+            cell_key,
+            raise_on_failures,
+            run_cells,
+        )
+
+        keys = None
+        if checkpoint is not None:
+            keys = []
+            for cell in cells:
+                _, point, application = plan[cell.index]
+                keys.append(cell_key(
+                    runner.fingerprint(application),
+                    cell.predictor,
+                    point_runners[point].config,
+                ))
+        ledger = run_cells(
+            cells,
+            run_cell,
+            jobs=jobs,
+            policy=resilience,
+            progress=progress,
+            checkpoint=checkpoint,
+            cell_keys=keys,
+        )
+        raise_on_failures(ledger, "sweep")
+        results = ledger.results
+    else:
+        results = execute_cells(
+            cells, run_cell, jobs=jobs, progress=progress
+        )
 
     points: list[SweepPoint] = []
     for point, value in enumerate(point_values):

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 from typing import IO, Iterable, Iterator
 
+from repro import faults
 from repro.errors import TraceFormatError
 from repro.traces.events import (
     AccessType,
@@ -95,10 +96,13 @@ def write_execution(execution: ExecutionTrace, stream: IO[str]) -> None:
 
 
 def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
+    plan = faults.active()
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
+        if plan is not None:
+            line = faults.corrupt_trace_line(plan, line)
         try:
             yield json.loads(line)
         except json.JSONDecodeError as exc:

@@ -129,6 +129,65 @@ def test_get_trace_rejects_bogus_payload(tmp_path):
     assert not cache.path_for(key).exists()
 
 
+def test_truncated_entry_quarantined_and_recomputed(tmp_path):
+    """Hardened read path: a published entry truncated mid-payload is a
+    miss, never an exception — the entry is renamed aside (quarantined)
+    and the recompute heals the cache."""
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    cache.put(key, list(range(1000)))
+    path = cache.path_for(key)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert cache.get_or_compute(key, lambda: list(range(1000))) == list(
+        range(1000)
+    )
+    assert cache.stats.corrupt == 1
+    assert cache.stats.quarantined == 1
+    # The corrupt payload survives for inspection; the key was healed.
+    aside = path.with_name(path.name + ".corrupt")
+    assert aside.exists() and aside.read_bytes() == blob[: len(blob) // 2]
+    assert cache.get(key) == (True, list(range(1000)))
+
+
+def test_corrupt_read_fault_site_recovers(tmp_path):
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSpec
+
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    cache.put(key, list(range(500)))
+    plan = FaultPlan([FaultSpec(site="cache.corrupt-read", at=1)])
+    with faults.injected(plan):
+        hit, value = cache.get(key)
+    assert not hit and value is None
+    assert cache.stats.quarantined == 1
+    assert len(plan.fired) == 1
+    # A missing entry never consumes the fault counter.
+    other = FaultPlan([FaultSpec(site="cache.corrupt-read", at=1)])
+    with faults.injected(other):
+        assert cache.get(trace_key("missing", 1.0)) == (False, None)
+    assert other.fired == []
+
+
+def test_torn_write_fault_site_recovers(tmp_path):
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSpec
+
+    cache = ArtifactCache(tmp_path)
+    key = trace_key("alpha", 1.0)
+    plan = FaultPlan([FaultSpec(site="cache.torn-write", at=1)])
+    with faults.injected(plan):
+        cache.put(key, list(range(500)))
+    # The torn entry was published; the next read quarantines it and the
+    # compute path rewrites a good copy.
+    assert cache.get_or_compute(key, lambda: list(range(500))) == list(
+        range(500)
+    )
+    assert cache.stats.corrupt == 1
+    assert cache.get(key) == (True, list(range(500)))
+
+
 def test_get_or_compute_computes_once(tmp_path):
     cache = ArtifactCache(tmp_path)
     calls = []

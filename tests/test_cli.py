@@ -165,3 +165,85 @@ def test_simulate_trace_out(capsys, tmp_path):
     assert code == 0
     assert out_file.exists()
     assert out_file.read_text().strip()
+
+
+# ---------------------------------------------------------------------------
+# The resilient front end: repro run / repro faults
+# ---------------------------------------------------------------------------
+
+
+def test_run_subcommand_with_checkpoint_and_resume(capsys, tmp_path):
+    ckpt = str(tmp_path / "run.ckpt")
+    code, out, _ = run_cli(
+        capsys, "run", "--scale", "0.1", "--predictor", "TP",
+        "--app", "mozilla", "--app", "nedit", "--checkpoint", ckpt,
+    )
+    assert code == 0
+    assert "2 cells — 2 ok (0 resumed from checkpoint)" in out
+    assert "mozilla" in out and "nedit" in out
+
+    code, out, _ = run_cli(
+        capsys, "run", "--scale", "0.1", "--predictor", "TP",
+        "--app", "mozilla", "--app", "nedit", "--resume", ckpt,
+    )
+    assert code == 0
+    assert "2 ok (2 resumed from checkpoint)" in out
+
+
+def test_run_subcommand_reports_terminal_failures(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    code, out, _ = run_cli(
+        capsys, "run", "--scale", "0.1", "--predictor", "TP",
+        "--app", "mozilla", "--app", "nedit", "--retries", "1",
+        "--fault-plan", "worker.fail,cell=0,attempts=99",
+    )
+    assert code == 1
+    assert "1 failed" in out
+    assert "FAILED after 2 attempt(s)" in out
+    # The healthy cell still reported a result.
+    assert "nedit" in out
+
+
+def test_run_subcommand_recovers_transient_fault(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--scale", "0.1", "--predictor", "TP",
+        "--app", "mozilla",
+        "--fault-plan", "worker.fail,cell=0,attempts=1",
+    )
+    assert code == 0
+    assert "recovered after 1 failed attempt(s)" in out
+    assert "fault(s) fired" in out
+
+
+def test_fault_plan_env_var_reaches_commands(capsys, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN", "worker.fail,cell=0,attempts=99"
+    )
+    code, out, _ = run_cli(
+        capsys, "run", "--scale", "0.1", "--predictor", "TP",
+        "--app", "mozilla", "--retries", "0",
+    )
+    assert code == 1
+    assert "FAILED after 1 attempt(s)" in out
+
+
+def test_malformed_fault_plan_is_a_clean_error(capsys):
+    code, _, err = run_cli(
+        capsys, "run", "--scale", "0.1", "--app", "mozilla",
+        "--fault-plan", "bogus.site",
+    )
+    assert code == 1
+    assert "unknown fault site" in err
+
+
+def test_faults_subcommand_in_process(capsys, monkeypatch):
+    # Force the in-process path: deterministic and pool-free, so the
+    # canned crash becomes an injected failure.
+    code, out, _ = run_cli(
+        capsys, "faults", "--scale", "0.1", "--jobs", "1",
+        "--cell-timeout", "3",
+    )
+    assert code == 0
+    assert "chaos verdict: OK" in out
+    assert "[PASS] healthy cells bit-identical" in out
+    assert "FAILED after 2 attempt(s)" in out

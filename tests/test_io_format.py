@@ -105,3 +105,19 @@ def test_malformed_io_record_rejected():
 def test_empty_stream_rejected_for_application():
     with pytest.raises(TraceFormatError):
         read_application_trace(io.StringIO(""))
+
+
+def test_malformed_line_fault_surfaces_with_line_number():
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSpec
+
+    stream = io.StringIO()
+    write_application_trace(ApplicationTrace("app", [_execution()]), stream)
+    plan = FaultPlan([FaultSpec(site="trace.malformed-line", at=3)])
+    with faults.injected(plan):
+        stream.seek(0)
+        with pytest.raises(TraceFormatError, match="line 3: invalid JSON"):
+            read_application_trace(stream)
+    # Without the plan the very same stream parses cleanly.
+    stream.seek(0)
+    assert read_application_trace(stream).executions[0].events

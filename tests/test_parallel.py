@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import pickle
+import time
 
 import pytest
 
@@ -156,6 +157,31 @@ def test_resolve_jobs_env(monkeypatch):
 
 def test_execute_cells_empty():
     assert execute_cells([], lambda cell: None, jobs=4) == []
+
+
+def test_worker_exception_cleans_up_pool_state(tmp_path):
+    """A failing cell must propagate without leaking the module-global
+    runner or leaving queued cells running (fail-fast but clean)."""
+
+    def run_cell(cell: ExperimentCell) -> int:
+        if cell.index == 0:
+            raise RuntimeError("poisoned cell")
+        time.sleep(0.05)
+        (tmp_path / f"ran-{cell.index}").touch()
+        return cell.index
+
+    cells = [
+        ExperimentCell(index=i, application=f"app{i}", predictor="TP")
+        for i in range(32)
+    ]
+    with pytest.raises(RuntimeError, match="poisoned cell"):
+        execute_cells(cells, run_cell, jobs=2)
+    # The inherited-closure global is always cleared...
+    assert parallel_module._WORKER_RUN_CELL is None
+    # ...and the pending tail was cancelled, not drained: with 32 slow
+    # cells and 2 workers, a full drain would have run nearly all of
+    # them after the poisoned cell failed.
+    assert len(list(tmp_path.glob("ran-*"))) < len(cells) - 1
 
 
 # ---------------------------------------------------------------------------

@@ -87,3 +87,47 @@ def test_non_int_key_rejected_on_dump():
     table.train("not-an-int")
     with pytest.raises(PersistenceError):
         dump_table(table, "x")
+
+
+# ---------------------------------------------------------------------------
+# Transient-I/O retries (the persist.os-error fault site)
+# ---------------------------------------------------------------------------
+
+
+def test_transient_os_error_retried_on_load(tmp_path):
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSpec
+
+    path = tmp_path / "mozilla.pcap"
+    save_table_file(_table_with(7), "mozilla", path)
+    plan = FaultPlan([FaultSpec(site="persist.os-error", at=1)])
+    with faults.injected(plan):
+        restored, application = load_table_file(path)
+    assert application == "mozilla" and set(restored.keys()) == {7}
+    assert len(plan.fired) == 1
+
+
+def test_transient_os_error_retried_on_save(tmp_path):
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSpec
+
+    path = tmp_path / "mozilla.pcap"
+    plan = FaultPlan([FaultSpec(site="persist.os-error", at=1)])
+    with faults.injected(plan):
+        save_table_file(_table_with(3), "mozilla", path)
+    restored, _ = load_table_file(path)
+    assert set(restored.keys()) == {3}
+
+
+def test_persistent_os_error_surfaces_after_retries(tmp_path):
+    from repro import faults
+    from repro.core.persistence import IO_ATTEMPTS
+    from repro.faults import FaultPlan, FaultSpec
+
+    path = tmp_path / "mozilla.pcap"
+    save_table_file(_table_with(7), "mozilla", path)
+    plan = FaultPlan([FaultSpec(site="persist.os-error", at=1, count=10)])
+    with faults.injected(plan):
+        with pytest.raises(PersistenceError, match="after 3 attempts"):
+            load_table_file(path)
+    assert len(plan.fired) == IO_ATTEMPTS
