@@ -3,9 +3,13 @@
 The paper: "the collected traces of I/O operations are filtered through
 our file cache, and only cache misses are treated as actual disk
 accesses."  :func:`filter_execution` implements exactly that step: it
-replays an :class:`~repro.traces.trace.ExecutionTrace` through a
-:class:`~repro.cache.page_cache.PageCache` and emits the time-ordered
-:class:`DiskAccess` stream the predictors and the energy simulator see.
+replays an execution through a :class:`~repro.cache.page_cache.PageCache`
+and emits the time-ordered :class:`DiskAccess` stream the predictors and
+the energy simulator see.  The replay consumes the execution through the
+:class:`~repro.traces.trace.ExecutionLike` streaming protocol, so an
+in-memory :class:`~repro.traces.trace.ExecutionTrace` and an on-disk
+:class:`~repro.traces.store.StoredExecution` (which decodes one chunk at
+a time) produce bit-identical results.
 
 Because the same :class:`FilterResult` is replayed many times (once per
 predictor, per sweep point, per figure), it memoizes its derived views —
@@ -23,7 +27,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.cache.page_cache import CacheConfig, CacheStats, PageCache, WriteBack
 from repro.cache.writeback import coalesce_writebacks
 from repro.traces.events import AccessType, IOEvent
-from repro.traces.trace import ExecutionTrace
+from repro.traces.trace import ExecutionLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
     from repro.sim.columnar import ColumnarAccesses
@@ -87,7 +91,7 @@ class FilterResult:
     #: Merged engine schedule memo: (execution, schedule) — see
     #: :func:`repro.sim.engine.merged_schedule`.  Holding the execution
     #: reference keeps the pairing unambiguous.
-    _schedule: Optional[tuple[ExecutionTrace, list]] = field(
+    _schedule: Optional[tuple[ExecutionLike, list]] = field(
         default=None, repr=False
     )
 
@@ -140,7 +144,7 @@ def _flush_records_to_accesses(writebacks: list[WriteBack]) -> list[DiskAccess]:
 
 
 def filter_execution(
-    execution: ExecutionTrace,
+    execution: ExecutionLike,
     config: Optional[CacheConfig] = None,
     *,
     flush_on_exit: bool = True,
@@ -173,7 +177,9 @@ def filter_execution(
     cache_read = cache.read
     cache_write = cache.write
     read_kinds = (AccessType.READ, AccessType.OPEN)
-    for event in execution.events:
+    saw_events = False
+    for event in execution.iter_events():
+        saw_events = True
         if not isinstance(event, IOEvent):
             continue
         daemon_writebacks = advance(event.time)
@@ -224,7 +230,7 @@ def filter_execution(
                 )
             )
         # CLOSE (and blockless events) generate no disk traffic.
-    if flush_on_exit and execution.events:
+    if flush_on_exit and saw_events:
         final = cache.flush_now(execution.end_time)
         if final:
             extend(_flush_records_to_accesses(final))

@@ -7,6 +7,8 @@
     python -m repro table 1 [--scale S]
     python -m repro simulate --app mozilla --predictor PCAP [--scale S]
     python -m repro trace --app mozilla --predictor PCAP [--out t.jsonl]
+    python -m repro trace pack --out store/ [--scale S | --from t.jsonl]
+    python -m repro trace info store/
     python -m repro generate --app mozilla --out traces.jsonl [--scale S]
     python -m repro import-strace trace.txt --app myapp [--predictor PCAP]
     python -m repro inspect traces.jsonl
@@ -23,6 +25,12 @@ interrupted run re-executes only unfinished cells.  ``repro faults``
 replays a fault plan (default: the canned chaos scenario) against a
 small suite and verifies the run survives it; any command accepts a
 plan via ``$REPRO_FAULT_PLAN`` or ``--fault-plan`` where offered.
+
+``repro trace pack`` converts traces (generated workloads or JSONL
+files, including ``import-strace`` output) into the on-disk columnar
+store format (:mod:`repro.traces.store`); every suite-level command
+accepts ``--store DIR`` to run against a packed store with bounded
+memory instead of generating the suite in memory.
 """
 
 from __future__ import annotations
@@ -79,19 +87,28 @@ from repro.workloads import APPLICATIONS, build_suite
 
 def _runner(args, applications: Optional[tuple[str, ...]] = None):
     cache = resolve_cache(getattr(args, "cache_dir", None))
-    suite = build_suite(
-        scale=args.scale,
-        applications=applications or APPLICATIONS,
-        cache=cache,
-    )
+    store_path = getattr(args, "store", None)
+    if store_path:
+        from repro.traces.store import TraceStore
+
+        suite = TraceStore(store_path).suite(applications)
+        generated = False
+    else:
+        suite = build_suite(
+            scale=args.scale,
+            applications=applications or APPLICATIONS,
+            cache=cache,
+        )
+        generated = True
     jobs = getattr(args, "jobs", None)
     runner = ParallelExperimentRunner(
         suite, SimulationConfig(), jobs=jobs, artifact_cache=cache
     )
-    if cache is not None:
+    if cache is not None and generated:
         # The suite came from the deterministic generator: its trace
         # cache keys double as content fingerprints, skipping a
-        # per-event hashing pass per application.
+        # per-event hashing pass per application.  (Store-backed suites
+        # carry their provenance fingerprint in the manifest instead.)
         runner.declare_fingerprints(
             generated_suite_fingerprints(args.scale, tuple(suite))
         )
@@ -223,6 +240,10 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if not args.app:
+        print("error: repro trace needs --app (or a subcommand: pack, info)",
+              file=sys.stderr)
+        return 2
     runner = _runner(args, applications=(args.app,))
     recorder = TraceRecorder(
         capacity=args.capacity if args.capacity > 0 else None
@@ -243,6 +264,66 @@ def _cmd_trace(args) -> int:
     if args.out:
         _write_trace(args.out, recorder.events)
     return 0 if fired == stats.shutdowns else 1
+
+
+def _cmd_trace_pack(args) -> int:
+    from repro.traces.store import (
+        DEFAULT_CHUNK_ROWS,
+        StoreWriter,
+        TraceStore,
+        pack_jsonl,
+    )
+
+    chunk_rows = getattr(args, "chunk_rows", None) or DEFAULT_CHUNK_ROWS
+    source = getattr(args, "from_jsonl", None)
+    if source:
+        with StoreWriter(args.out, chunk_rows=chunk_rows) as writer:
+            with open(source, "r", encoding="utf-8") as stream:
+                executions = pack_jsonl(stream, writer)
+        print(f"packed {executions} execution(s) from {source}")
+    else:
+        from repro.workloads.streaming import iter_suite_executions
+
+        selected = getattr(args, "app", None)
+        if not selected:
+            apps = APPLICATIONS
+        elif isinstance(selected, str):
+            # Parsed by the parent `trace` parser (before the
+            # subcommand), where --app is a single value.
+            apps = (selected,)
+        else:
+            apps = tuple(selected)
+        executions = 0
+        with StoreWriter(args.out, chunk_rows=chunk_rows) as writer:
+            for execution in iter_suite_executions(
+                scale=args.scale, applications=apps
+            ):
+                writer.write_execution(execution)
+                executions += 1
+        print(f"packed {executions} generated execution(s) "
+              f"at scale {args.scale}")
+    store = TraceStore(args.out)
+    print(f"store: {args.out} ({store.rows} rows, {len(store.chunks)} "
+          f"chunk(s) of {store.chunk_rows}, "
+          f"{len(store.applications)} application(s))")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from repro.traces.store import TraceStore
+
+    store = TraceStore(args.store_dir)
+    print(f"trace store      : {store.path}")
+    print(f"rows             : {store.rows} "
+          f"({len(store.chunks)} chunk(s) of {store.chunk_rows})")
+    print(f"fingerprint      : {store.fingerprint}")
+    print(f"applications     : {len(store.applications)}")
+    for name in store.applications:
+        entry = store.application_entry(name)
+        print(f"  {name:<12s} {len(entry['executions']):>4d} executions  "
+              f"{entry['io_events']:>8d} I/O events  "
+              f"fingerprint {entry['fingerprint']}")
+    return 0
 
 
 def _cmd_generate(args) -> int:
@@ -558,6 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist generated traces and filter results "
                             "in DIR (default: $REPRO_CACHE_DIR; unset "
                             "disables the artifact cache)")
+        p.add_argument("--store", metavar="DIR", default=None,
+                       help="run against a packed trace store (see "
+                            "'repro trace pack') with memory-bounded "
+                            "streaming instead of generating the suite; "
+                            "--scale is then ignored (the store fixes "
+                            "the workload)")
 
     p = sub.add_parser("reproduce", help="all tables, figures, and checks")
     add_scale(p)
@@ -594,9 +681,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="replay one app × predictor cell with the decision timeline",
+        help="decision timeline of one cell, or trace-store subcommands "
+             "(pack, info)",
     )
-    p.add_argument("--app", choices=APPLICATIONS, required=True)
+    p.add_argument("--app", choices=APPLICATIONS, default=None)
     p.add_argument("--predictor", choices=KNOWN_PREDICTORS, default="PCAP")
     p.add_argument("--out", metavar="FILE",
                    help="also write the timeline as JSON lines")
@@ -608,6 +696,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the §7 low-power idle state")
     add_scale(p)
     p.set_defaults(fn=_cmd_trace)
+    trace_sub = p.add_subparsers(dest="trace_command", required=False,
+                                 metavar="{pack,info}")
+
+    # Flags shared with the parent parser use SUPPRESS defaults so a
+    # value parsed before the subcommand (e.g. `trace --scale 1.0 pack`)
+    # is not clobbered by a subparser default during the namespace merge.
+    tp = trace_sub.add_parser(
+        "pack",
+        help="pack traces into the on-disk columnar store format",
+    )
+    tp.add_argument("--out", required=True, metavar="DIR",
+                    help="store directory to create (must not exist yet)")
+    tp.add_argument("--from", dest="from_jsonl", metavar="FILE",
+                    help="pack a JSON-lines trace file (e.g. generate or "
+                         "import-strace output) instead of generating "
+                         "workloads")
+    tp.add_argument("--app", action="append", choices=APPLICATIONS,
+                    default=argparse.SUPPRESS,
+                    help="generated application subset (repeatable; "
+                         "default: all six)")
+    tp.add_argument("--scale", type=float, default=argparse.SUPPRESS,
+                    help="workload scale for generated traces")
+    tp.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                    help="rows per store chunk — the streaming read "
+                         "granularity (default 65536)")
+    tp.set_defaults(fn=_cmd_trace_pack)
+
+    ti = trace_sub.add_parser("info", help="summarize a packed trace store")
+    ti.add_argument("store_dir", metavar="STORE")
+    ti.set_defaults(fn=_cmd_trace_info)
 
     p = sub.add_parser("generate", help="write a workload trace file")
     p.add_argument("--app", choices=APPLICATIONS, required=True)

@@ -24,6 +24,10 @@ class TraceFormatError(TraceError):
     """Serialized trace text could not be parsed."""
 
 
+class TraceStoreError(TraceError):
+    """An on-disk trace store is missing, corrupt, or incompatible."""
+
+
 class DiskStateError(ReproError):
     """An illegal disk state transition was requested."""
 

@@ -52,6 +52,7 @@ from repro.traces.events import (
     ForkEvent,
     IOEvent,
     TraceEvent,
+    event_tuple,
 )
 from repro.traces.trace import ApplicationTrace, ExecutionTrace
 
@@ -93,6 +94,7 @@ class ArtifactCache:
         self.stats = ArtifactCacheStats()
 
     def path_for(self, key: str) -> Path:
+        """On-disk location of one entry (two-level fan-out by key)."""
         return self.root / key[:2] / f"{key}.pkl"
 
     def _quarantine(self, path: Path) -> None:
@@ -315,17 +317,9 @@ def trace_key(application: str, scale: float) -> str:
     return _digest("trace", SCHEMA_VERSION, application, scale)
 
 
-def _event_tuple(event: TraceEvent) -> tuple:
-    if type(event) is IOEvent:
-        return (
-            "io", event.time, event.pid, event.pc, event.fd,
-            event.kind.value, event.inode, event.block_start,
-            event.block_count,
-        )
-    if type(event) is ForkEvent:
-        return ("fork", event.time, event.pid, event.parent_pid)
-    assert type(event) is ExitEvent
-    return ("exit", event.time, event.pid)
+#: Canonical event value tuples come from the trace layer so the trace
+#: store's streaming fingerprint hashes the same field layout.
+_event_tuple = event_tuple
 
 
 def trace_fingerprint(trace: ApplicationTrace) -> str:

@@ -88,6 +88,49 @@ class ColumnarAccesses:
         )
         return cls(times, pids, pcs, fds, counts)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        times: np.ndarray,
+        pids: np.ndarray,
+        pcs: np.ndarray,
+        fds: np.ndarray,
+        block_counts: np.ndarray,
+    ) -> "ColumnarAccesses":
+        """Wrap pre-built column arrays (e.g. slices of trace-store
+        memmaps) without copying; dtypes are normalized to the canonical
+        float64/int64 layout."""
+        return cls(
+            np.ascontiguousarray(times, dtype=np.float64),
+            np.ascontiguousarray(pids, dtype=np.int64),
+            np.ascontiguousarray(pcs, dtype=np.int64),
+            np.ascontiguousarray(fds, dtype=np.int64),
+            np.ascontiguousarray(block_counts, dtype=np.int64),
+        )
+
+    @classmethod
+    def concat(
+        cls, chunks: Sequence["ColumnarAccesses"]
+    ) -> "ColumnarAccesses":
+        """Assemble one view from per-chunk views, in order.
+
+        Used to stitch chunk-windowed columns (the trace store's bounded
+        read path) back into a single execution-wide view; concatenation
+        preserves every element bitwise, so the result is
+        indistinguishable from a single-pass transpose.
+        """
+        if not chunks:
+            return cls.from_accesses([])
+        if len(chunks) == 1:
+            return chunks[0]
+        return cls(
+            np.concatenate([c.times for c in chunks]),
+            np.concatenate([c.pids for c in chunks]),
+            np.concatenate([c.pcs for c in chunks]),
+            np.concatenate([c.fds for c in chunks]),
+            np.concatenate([c.block_counts for c in chunks]),
+        )
+
     def __len__(self) -> int:
         return len(self.times)
 

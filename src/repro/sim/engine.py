@@ -58,7 +58,7 @@ from repro.sim.tracing import (
     WaitWindowExpired,
 )
 from repro.traces.events import ExitEvent, ForkEvent
-from repro.traces.trace import ExecutionTrace
+from repro.traces.trace import ExecutionLike
 from repro.units import EPSILON
 
 _EPS = EPSILON
@@ -94,7 +94,7 @@ def _resolve_shutdown(
 
 
 def merged_schedule(
-    execution: ExecutionTrace, filtered: FilterResult
+    execution: ExecutionLike, filtered: FilterResult
 ) -> list[tuple[float, int, object, int]]:
     """The global engine's replay schedule, memoized on ``filtered``.
 
@@ -113,7 +113,7 @@ def merged_schedule(
     if memo is not None and memo[0] is execution:
         return memo[1]
     entries: list[tuple[float, int, object, int]] = []
-    for event in execution.events:
+    for event in execution.liveness_events():
         if isinstance(event, ForkEvent):
             entries.append((event.time, 0, event, -1))
         elif isinstance(event, ExitEvent):
@@ -228,7 +228,7 @@ class ExecutionRunResult:
 
 
 def run_global_execution(
-    execution: ExecutionTrace,
+    execution: ExecutionLike,
     filtered: FilterResult,
     spec: PredictorSpec,
     config: SimulationConfig,
@@ -257,7 +257,7 @@ def run_global_execution(
 
 
 def _run_omniscient(
-    execution: ExecutionTrace,
+    execution: ExecutionLike,
     filtered: FilterResult,
     spec: PredictorSpec,
     config: SimulationConfig,
@@ -340,7 +340,7 @@ def _run_omniscient(
 
 
 def _run_local_based(
-    execution: ExecutionTrace,
+    execution: ExecutionLike,
     filtered: FilterResult,
     spec: PredictorSpec,
     config: SimulationConfig,

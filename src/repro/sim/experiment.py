@@ -6,6 +6,14 @@ state (PCAP table / LT tree) persisting across executions unless the
 variant discards it.  :class:`ExperimentRunner` owns that loop, caches
 the (deterministic, relatively expensive) cache-filtering step per
 application, and aggregates per-execution results.
+
+Suites may mix in-memory :class:`~repro.traces.trace.ApplicationTrace`
+objects and store-backed :class:`~repro.traces.store.StoreBackedTrace`
+objects (``streaming = True``).  For streaming traces the runner filters
+and simulates one execution at a time (:meth:`ExperimentRunner.iter_filtered`)
+instead of memoizing the whole application, so peak memory stays bounded
+by one execution plus one store chunk; the produced results are
+bit-identical to the in-memory path.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ class ApplicationResult:
 
     @property
     def energy(self) -> float:
+        """Total energy of the run in joules."""
         return self.ledger.total
 
 
@@ -84,6 +93,7 @@ class ExperimentRunner:
 
     @property
     def applications(self) -> list[str]:
+        """Application names of the suite, in suite order."""
         return list(self.suite)
 
     def with_config(self, config: SimulationConfig) -> "ExperimentRunner":
@@ -138,19 +148,41 @@ class ExperimentRunner:
     def fingerprint(self, application: str) -> str:
         """Content fingerprint of one application's trace (memoized).
 
-        Pre-seeded fingerprints (:meth:`declare_fingerprints`) win;
-        otherwise the trace's events are hashed once and remembered.
-        Artifact-cache keys and checkpoint cell keys
-        (:func:`repro.sim.resilience.cell_key`) are both derived from
-        this value.
+        Pre-seeded fingerprints (:meth:`declare_fingerprints`) win; a
+        trace that carries its own provenance digest (store-backed
+        traces expose ``fingerprint``) is next; otherwise the trace's
+        events are hashed once and remembered.  Artifact-cache keys and
+        checkpoint cell keys (:func:`repro.sim.resilience.cell_key`) are
+        both derived from this value.
         """
         fingerprint = self._fingerprints.get(application)
         if fingerprint is None:
-            from repro.sim.artifact_cache import trace_fingerprint
+            trace = self._trace(application)
+            fingerprint = getattr(trace, "fingerprint", None)
+            if fingerprint is None:
+                from repro.sim.artifact_cache import trace_fingerprint
 
-            fingerprint = trace_fingerprint(self._trace(application))
+                fingerprint = trace_fingerprint(trace)
             self._fingerprints[application] = fingerprint
         return fingerprint
+
+    def _filter_one(self, execution, application: str) -> FilterResult:
+        """Filter one execution, honoring the attached artifact cache."""
+        cache = self.artifact_cache
+        if cache is None:
+            return filter_execution(execution, self.config.cache)
+        from repro.sim.artifact_cache import filter_key
+
+        key = filter_key(
+            self.fingerprint(application),
+            execution.execution_index,
+            self.config.cache,
+        )
+        hit, value = cache.get(key)
+        if not hit:
+            value = filter_execution(execution, self.config.cache)
+            cache.put(key, value)
+        return value
 
     def filtered(self, application: str) -> list[FilterResult]:
         """Cache-filtered executions of one application (memoized).
@@ -161,34 +193,37 @@ class ExperimentRunner:
         process then deserialize instead of re-filtering.  Cached
         results are the pickles of exactly what ``filter_execution``
         builds, so downstream simulation is bit-identical either way.
+
+        For streaming (store-backed) traces, prefer :meth:`iter_filtered`,
+        which avoids holding every execution's result at once.
         """
         memo = self._filtered.get(application)
         if memo is not None:
             return memo
         trace = self._trace(application)
-        cache = self.artifact_cache
-        if cache is None:
-            results = [
-                filter_execution(execution, self.config.cache)
-                for execution in trace
-            ]
-        else:
-            from repro.sim.artifact_cache import filter_key
-
-            fingerprint = self.fingerprint(application)
-            cache_config = self.config.cache
-            results = []
-            for execution in trace:
-                key = filter_key(
-                    fingerprint, execution.execution_index, cache_config
-                )
-                hit, value = cache.get(key)
-                if not hit:
-                    value = filter_execution(execution, cache_config)
-                    cache.put(key, value)
-                results.append(value)
+        results = [
+            self._filter_one(execution, application) for execution in trace
+        ]
         self._filtered[application] = results
         return results
+
+    def iter_filtered(self, application: str):
+        """Yield ``(execution, filter result)`` pairs one at a time.
+
+        The memory-bounded front end of every run loop: for in-memory
+        traces this walks the :meth:`filtered` memo (building it on first
+        use, exactly as before); for streaming traces it filters each
+        execution on the fly and *does not* retain the results, so peak
+        memory is one execution plus one filter result regardless of
+        trace size.
+        """
+        trace = self._trace(application)
+        memo = self._filtered.get(application)
+        if memo is None and getattr(trace, "streaming", False):
+            for execution in trace:
+                yield execution, self._filter_one(execution, application)
+            return
+        yield from zip(trace, self.filtered(application))
 
     def run_global(
         self,
@@ -215,7 +250,7 @@ class ExperimentRunner:
         delayed = 0
         delay_seconds = 0.0
         irritating = 0
-        for execution, filtered in zip(trace, self.filtered(application)):
+        for execution, filtered in self.iter_filtered(application):
             result = run_global_execution(
                 execution, filtered, spec, self.config,
                 multistate=multistate, tracer=tracer,
@@ -268,7 +303,7 @@ class ExperimentRunner:
         stats = PredictionStats()
         accesses = 0
         peak_table = 0
-        for execution, filtered in zip(trace, self.filtered(application)):
+        for execution, filtered in self.iter_filtered(application):
             lifetimes = execution.lifetimes()
             per_process = filtered.per_process()
             for pid, (start, end) in sorted(lifetimes.items()):

@@ -90,18 +90,22 @@ class PredictionStats:
     # ------------------------------------------------------------------
     @property
     def hits(self) -> int:
+        """Correct shutdowns (primary + backup predictions)."""
         return self.hits_primary + self.hits_backup
 
     @property
     def misses(self) -> int:
+        """Mispredicted shutdowns (primary + backup predictions)."""
         return self.misses_primary + self.misses_backup
 
     @property
     def shutdowns(self) -> int:
+        """Every shutdown taken, correct or not."""
         return self.hits + self.misses
 
     @property
     def not_predicted(self) -> int:
+        """Saveable idle periods the predictor left on the table."""
         return self.opportunities - self.hits - self.unsaved_in_opportunity
 
     def _fraction(self, count: int) -> float:
@@ -120,22 +124,27 @@ class PredictionStats:
 
     @property
     def not_predicted_fraction(self) -> float:
+        """Missed-opportunity share of all opportunities."""
         return self._fraction(self.not_predicted)
 
     @property
     def hit_primary_fraction(self) -> float:
+        """Primary-prediction hit share of all opportunities."""
         return self._fraction(self.hits_primary)
 
     @property
     def hit_backup_fraction(self) -> float:
+        """Backup-prediction hit share of all opportunities."""
         return self._fraction(self.hits_backup)
 
     @property
     def miss_primary_fraction(self) -> float:
+        """Primary-prediction miss share of all opportunities."""
         return self._fraction(self.misses_primary)
 
     @property
     def miss_backup_fraction(self) -> float:
+        """Backup-prediction miss share of all opportunities."""
         return self._fraction(self.misses_backup)
 
     # ------------------------------------------------------------------
@@ -154,6 +163,7 @@ class PredictionStats:
 
     @staticmethod
     def merged(parts: list["PredictionStats"]) -> "PredictionStats":
+        """The element-wise sum of many stats objects."""
         total = PredictionStats()
         for part in parts:
             total.merge(part)

@@ -284,6 +284,8 @@ class ParallelExperimentRunner(ExperimentRunner):
     def with_config(
         self, config: SimulationConfig
     ) -> "ParallelExperimentRunner":
+        """A parallel runner over the same suite under a new config,
+        sharing filter memos when the cache configuration matches."""
         clone = ParallelExperimentRunner(
             self.suite,
             config,
@@ -300,8 +302,17 @@ class ParallelExperimentRunner(ExperimentRunner):
 
     def prewarm(self, applications: Optional[Sequence[str]] = None) -> None:
         """Run the memoized cache-filtering pass in the parent so forked
-        workers inherit it copy-on-write instead of re-filtering."""
+        workers inherit it copy-on-write instead of re-filtering.
+
+        Streaming (store-backed) traces are skipped: memoizing them in
+        the parent would defeat the store's memory bound, and workers
+        read their chunks straight from the shared on-disk store (with
+        an artifact cache attached, the filter results are shared
+        through it instead).
+        """
         for application in applications or self.applications:
+            if getattr(self.suite[application], "streaming", False):
+                continue
             self.filtered(application)
 
     def run_suite(
@@ -332,6 +343,8 @@ class ParallelExperimentRunner(ExperimentRunner):
         multistate: bool = False,
         jobs: Optional[int] = None,
     ) -> dict[str, dict[str, ApplicationResult]]:
+        """``{application: {predictor: result}}`` over a worker pool;
+        bit-identical to the serial :class:`ExperimentRunner` matrix."""
         if mode not in ("global", "local"):
             raise ValueError(f"unknown mode {mode!r}")
         apps = list(applications) if applications else self.applications

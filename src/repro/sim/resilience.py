@@ -158,6 +158,7 @@ class CellFailure:
 
     @property
     def last(self) -> RetryEvent:
+        """The terminal (last) failed attempt."""
         return self.attempts[-1]
 
 
@@ -176,10 +177,12 @@ class RunLedger:
 
     @property
     def results(self) -> list[CellResult]:
+        """The successful cell outcomes, in cell order."""
         return [o for o in self.outcomes if isinstance(o, CellResult)]
 
     @property
     def failures(self) -> list[CellFailure]:
+        """The terminally failed cell outcomes, in cell order."""
         return [o for o in self.outcomes if isinstance(o, CellFailure)]
 
     def render(self) -> str:
@@ -230,6 +233,7 @@ class MatrixReport:
 
     @property
     def complete(self) -> bool:
+        """True when every cell produced a result."""
         return not self.ledger.failures
 
 
@@ -242,6 +246,7 @@ class SuiteReport:
 
     @property
     def complete(self) -> bool:
+        """True when every cell produced a result."""
         return not self.ledger.failures
 
 
@@ -355,6 +360,7 @@ class CellCheckpoint:
         self._completed[key] = (result, wall_time)
 
     def close(self) -> None:
+        """Close the journal stream (idempotent)."""
         if self._stream is not None:
             self._stream.close()
             self._stream = None

@@ -1,5 +1,5 @@
 """Trace substrate: strace-like event records, containers, serialization,
-and gap statistics."""
+the on-disk columnar store, and gap statistics."""
 
 from repro.traces.events import (
     KERNEL_FLUSH_PC,
@@ -9,8 +9,10 @@ from repro.traces.events import (
     IOEvent,
     TraceEvent,
     event_sort_key,
+    event_tuple,
 )
 from repro.traces.io_format import (
+    iter_executions,
     read_application_trace,
     read_executions,
     write_application_trace,
@@ -22,23 +24,47 @@ from repro.traces.stats import (
     access_gaps,
     count_gaps_longer_than,
 )
-from repro.traces.trace import ApplicationTrace, ExecutionTrace, merge_events
+from repro.traces.store import (
+    DEFAULT_CHUNK_ROWS,
+    StoreBackedTrace,
+    StoredExecution,
+    StoreWriter,
+    TraceStore,
+    pack_jsonl,
+    pack_trace,
+)
+from repro.traces.trace import (
+    ApplicationTrace,
+    ExecutionLike,
+    ExecutionTrace,
+    merge_events,
+)
 
 __all__ = [
     "AccessType",
     "ApplicationTrace",
+    "DEFAULT_CHUNK_ROWS",
+    "ExecutionLike",
     "ExecutionTrace",
     "ExitEvent",
     "ForkEvent",
     "Gap",
     "IOEvent",
     "KERNEL_FLUSH_PC",
+    "StoreBackedTrace",
+    "StoredExecution",
+    "StoreWriter",
     "TraceEvent",
+    "TraceStore",
     "TraceSummary",
     "access_gaps",
     "count_gaps_longer_than",
     "event_sort_key",
+    "event_tuple",
+    "iter_executions",
     "merge_events",
+    "pack_jsonl",
+    "pack_trace",
     "read_application_trace",
     "read_executions",
     "write_application_trace",

@@ -88,6 +88,7 @@ class IOEvent:
 
     @property
     def is_write(self) -> bool:
+        """Whether the operation moves data toward the disk."""
         return self.kind in (
             AccessType.WRITE,
             AccessType.SYNC_WRITE,
@@ -129,6 +130,25 @@ class ExitEvent:
 
 
 TraceEvent = Union[IOEvent, ForkEvent, ExitEvent]
+
+
+def event_tuple(event: TraceEvent) -> tuple:
+    """The canonical value tuple of an event, used for content hashing.
+
+    Both the artifact cache's :func:`repro.sim.artifact_cache.trace_fingerprint`
+    and the trace store's streaming fingerprint hash these tuples, so the
+    two provenance schemes stay comparable field-for-field.
+    """
+    if type(event) is IOEvent:
+        return (
+            "io", event.time, event.pid, event.pc, event.fd,
+            event.kind.value, event.inode, event.block_start,
+            event.block_count,
+        )
+    if type(event) is ForkEvent:
+        return ("fork", event.time, event.pid, event.parent_pid)
+    assert type(event) is ExitEvent
+    return ("exit", event.time, event.pid)
 
 
 def event_sort_key(event: TraceEvent) -> tuple[float, int]:

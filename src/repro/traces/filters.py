@@ -5,20 +5,23 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.traces.events import AccessType, IOEvent, TraceEvent
-from repro.traces.trace import ExecutionTrace
+from repro.traces.trace import ExecutionLike, ExecutionTrace
 
 
 def filter_events(
-    execution: ExecutionTrace,
+    execution: ExecutionLike,
     predicate: Callable[[TraceEvent], bool],
 ) -> ExecutionTrace:
-    """A copy of ``execution`` keeping only events satisfying ``predicate``.
+    """An in-memory copy of ``execution`` keeping only events satisfying
+    ``predicate``.
 
     Fork/exit events are always kept so process liveness stays valid.
+    Accepts any :class:`~repro.traces.trace.ExecutionLike` (including
+    store-backed executions); the result is always materialized.
     """
     kept = [
         event
-        for event in execution.events
+        for event in execution.iter_events()
         if not isinstance(event, IOEvent) or predicate(event)
     ]
     return ExecutionTrace(
@@ -29,14 +32,14 @@ def filter_events(
     )
 
 
-def only_pid(execution: ExecutionTrace, pid: int) -> ExecutionTrace:
+def only_pid(execution: ExecutionLike, pid: int) -> ExecutionTrace:
     """Keep only the I/O of one process."""
     return filter_events(
         execution, lambda e: isinstance(e, IOEvent) and e.pid == pid
     )
 
 
-def only_kind(execution: ExecutionTrace, kind: AccessType) -> ExecutionTrace:
+def only_kind(execution: ExecutionLike, kind: AccessType) -> ExecutionTrace:
     """Keep only one access type."""
     return filter_events(
         execution, lambda e: isinstance(e, IOEvent) and e.kind == kind
@@ -44,7 +47,7 @@ def only_kind(execution: ExecutionTrace, kind: AccessType) -> ExecutionTrace:
 
 
 def time_window(
-    execution: ExecutionTrace, start: float, end: float
+    execution: ExecutionLike, start: float, end: float
 ) -> ExecutionTrace:
     """Keep only I/O with ``start <= time <= end``."""
     if end < start:

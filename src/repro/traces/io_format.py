@@ -109,12 +109,18 @@ def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
             raise TraceFormatError(f"line {number}: invalid JSON") from exc
 
 
-def read_executions(stream: IO[str]) -> list[ExecutionTrace]:
-    """Read back every execution written by :func:`write_execution`."""
-    executions: list[ExecutionTrace] = []
+def iter_executions(stream: IO[str]) -> Iterator[ExecutionTrace]:
+    """Stream back executions written by :func:`write_execution`.
+
+    Yields each execution as soon as its last event has been read, so
+    peak memory is one execution rather than the whole stream — this is
+    the import path the trace-store packer uses.
+    """
     current: ExecutionTrace | None = None
     for record in _parse_lines(stream):
         if record.get("type") == "header":
+            if current is not None:
+                yield current
             try:
                 current = ExecutionTrace(
                     application=str(record["application"]),
@@ -127,12 +133,17 @@ def read_executions(stream: IO[str]) -> list[ExecutionTrace]:
                 raise TraceFormatError(
                     f"malformed header {record!r}"
                 ) from exc
-            executions.append(current)
             continue
         if current is None:
             raise TraceFormatError("event record before any header")
         current.events.append(record_to_event(record))
-    return executions
+    if current is not None:
+        yield current
+
+
+def read_executions(stream: IO[str]) -> list[ExecutionTrace]:
+    """Read back every execution written by :func:`write_execution`."""
+    return list(iter_executions(stream))
 
 
 def write_application_trace(trace: ApplicationTrace, stream: IO[str]) -> None:

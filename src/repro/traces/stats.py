@@ -29,6 +29,7 @@ class Gap:
 
     @property
     def length(self) -> float:
+        """Gap duration in seconds (never negative)."""
         return max(0.0, self.end - self.start)
 
 

@@ -6,12 +6,22 @@ of an application — possibly many processes, delimited by fork/exit
 events.  :class:`ApplicationTrace` bundles the successive executions of
 one application (the paper traces e.g. 49 separate runs of mozilla), which
 is the unit the prediction-table-reuse experiments operate on.
+
+**Streaming protocol.**  Downstream consumers (the cache filter, the
+simulation engine) do not require a materialized event list; they drive
+executions through the :class:`ExecutionLike` protocol — metadata
+attributes plus :meth:`~ExecutionTrace.iter_events` /
+:meth:`~ExecutionTrace.liveness_events` — which
+:class:`~repro.traces.store.StoredExecution` implements by decoding one
+on-disk chunk window at a time.  :class:`ExecutionTrace` implements the
+same protocol trivially over its in-memory list, so both paths share one
+code base and produce bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.errors import TraceError
 from repro.traces.events import (
@@ -21,6 +31,33 @@ from repro.traces.events import (
     TraceEvent,
     event_sort_key,
 )
+
+
+@runtime_checkable
+class ExecutionLike(Protocol):
+    """What the filter and the engine need from one execution.
+
+    Implemented in-memory by :class:`ExecutionTrace` and on-disk by
+    :class:`~repro.traces.store.StoredExecution`.  ``iter_events`` must
+    yield events in canonical order; ``liveness_events`` must return the
+    (small) fork/exit subset, also in order.
+    """
+
+    application: str
+    execution_index: int
+    initial_pids: frozenset[int]
+
+    @property
+    def start_time(self) -> float: ...
+
+    @property
+    def end_time(self) -> float: ...
+
+    def iter_events(self) -> Iterator[TraceEvent]: ...
+
+    def liveness_events(self) -> list[TraceEvent]: ...
+
+    def lifetimes(self) -> dict[int, tuple[float, float]]: ...
 
 
 @dataclass(slots=True)
@@ -73,22 +110,41 @@ class ExecutionTrace:
                         f"t={event.time}"
                     )
 
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Iterate events in order (the streaming-protocol entry point)."""
+        return iter(self.events)
+
+    def liveness_events(self) -> list[TraceEvent]:
+        """The fork/exit subset of the event stream, in order."""
+        return [
+            e for e in self.events if isinstance(e, (ForkEvent, ExitEvent))
+        ]
+
+    @property
+    def event_count(self) -> int:
+        """Number of events (uniform with stored executions)."""
+        return len(self.events)
+
     @property
     def io_events(self) -> list[IOEvent]:
+        """The I/O subset of the event stream, in order."""
         return [e for e in self.events if isinstance(e, IOEvent)]
 
     @property
     def pids(self) -> set[int]:
+        """Every pid alive at any point of the execution."""
         pids = set(self.initial_pids)
         pids.update(e.pid for e in self.events if isinstance(e, ForkEvent))
         return pids
 
     @property
     def start_time(self) -> float:
+        """Time of the first event (0.0 for an empty execution)."""
         return self.events[0].time if self.events else 0.0
 
     @property
     def end_time(self) -> float:
+        """Time of the last event (0.0 for an empty execution)."""
         return self.events[-1].time if self.events else 0.0
 
     def per_process_io(self) -> dict[int, list[IOEvent]]:
@@ -137,6 +193,7 @@ class ApplicationTrace:
         return len(self.executions)
 
     def append(self, execution: ExecutionTrace) -> None:
+        """Add one execution; it must belong to this application."""
         if execution.application != self.application:
             raise TraceError(
                 f"cannot add execution of {execution.application!r} to the "
@@ -146,6 +203,7 @@ class ApplicationTrace:
 
     @property
     def total_io_count(self) -> int:
+        """Total I/O events across all executions."""
         return sum(len(e.io_events) for e in self.executions)
 
 

@@ -30,8 +30,14 @@ from repro.workloads.base import (
     TraceBuilder,
     build_application_trace,
     build_execution,
+    execution_count,
 )
 from repro.workloads.rng import lognormal, make_rng, stable_pc, stable_seed
+from repro.workloads.streaming import (
+    iter_application_executions,
+    iter_suite_executions,
+    pack_generated,
+)
 from repro.workloads.suite import (
     APPLICATIONS,
     application_spec,
@@ -63,8 +69,12 @@ __all__ = [
     "build_suite",
     "burst",
     "calibration_report",
+    "execution_count",
+    "iter_application_executions",
+    "iter_suite_executions",
     "lognormal",
     "make_rng",
+    "pack_generated",
     "read_loop",
     "render_calibration",
     "routine",

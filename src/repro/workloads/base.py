@@ -300,15 +300,21 @@ def build_execution(
     return builder.finish(initial_pids=frozenset({MAIN_PID}))
 
 
+def execution_count(spec: ApplicationSpec, *, scale: float = 1.0) -> int:
+    """Number of executions ``spec`` generates at ``scale`` (at least 1)."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    return max(1, int(round(spec.executions * scale)))
+
+
 def build_application_trace(spec: ApplicationSpec, *, scale: float = 1.0):
     """All executions of ``spec`` (count scaled, at least one)."""
     from repro.traces.trace import ApplicationTrace
 
-    executions = max(1, int(round(spec.executions * scale)))
     return ApplicationTrace(
         application=spec.name,
         executions=[
             build_execution(spec, index, scale=scale)
-            for index in range(executions)
+            for index in range(execution_count(spec, scale=scale))
         ],
     )

@@ -1,0 +1,355 @@
+"""Trace store: round-trips, bit-identity, corruption handling, memory.
+
+The streaming contract under test (DESIGN §10): running a suite from an
+on-disk store must be *bit-identical* to running it from the in-memory
+containers — same filter results, same energy, same predictor stats,
+same structured trace events — while the store path touches one chunk
+window at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import tracemalloc
+
+import pytest
+
+from repro import faults
+from repro.errors import TraceStoreError
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.parallel import ParallelExperimentRunner
+from repro.traces.io_format import write_application_trace
+from repro.traces.store import (
+    MANIFEST_NAME,
+    StoreWriter,
+    TraceStore,
+    pack_jsonl,
+    pack_trace,
+)
+from repro.workloads import (
+    APPLICATIONS,
+    application_spec,
+    build_application_trace,
+    build_suite,
+    pack_generated,
+)
+
+
+@pytest.fixture(scope="module")
+def store_and_suite(tmp_path_factory, small_suite):
+    """The 0.25-scale suite packed once, with small chunks so every
+    application spans several chunk windows."""
+    path = tmp_path_factory.mktemp("trace-store") / "suite-store"
+    store = pack_generated(path, scale=0.25, chunk_rows=1024)
+    return store, small_suite
+
+
+class TestRoundTrip:
+    def test_events_bit_identical(self, store_and_suite):
+        store, suite = store_and_suite
+        for name, trace in suite.items():
+            stored = store.trace(name)
+            assert len(stored) == len(trace.executions)
+            for mem, st in zip(trace, stored):
+                assert list(st.iter_events()) == mem.events
+
+    def test_metadata_matches(self, store_and_suite):
+        store, suite = store_and_suite
+        for name, trace in suite.items():
+            stored = store.trace(name)
+            assert stored.total_io_count == trace.total_io_count
+            for mem, st in zip(trace, stored):
+                assert st.application == mem.application
+                assert st.execution_index == mem.execution_index
+                assert st.initial_pids == mem.initial_pids
+                assert st.start_time == mem.start_time
+                assert st.end_time == mem.end_time
+                assert st.event_count == mem.event_count
+                assert st.pids == mem.pids
+                assert st.lifetimes() == mem.lifetimes()
+                assert st.liveness_events() == mem.liveness_events()
+
+    def test_chunk_windows_cover_execution(self, store_and_suite):
+        store, _ = store_and_suite
+        stored = store.trace("mplayer")
+        execution = max(stored, key=lambda e: e.event_count)
+        windows = execution.chunk_windows()
+        assert len(windows) > 1  # actually exercises chunking
+        assert windows[0][0] == execution.row_start
+        assert windows[-1][1] == execution.row_start + execution.event_count
+        for (_, a_end), (b_start, _) in zip(windows, windows[1:]):
+            assert a_end == b_start
+        assert all(
+            end - start <= store.chunk_rows for start, end in windows
+        )
+
+    def test_materialize_equals_source(self, store_and_suite):
+        store, suite = store_and_suite
+        stored = store.trace("nedit")
+        materialized = stored.materialize()
+        assert materialized.executions == suite["nedit"].executions
+
+    def test_jsonl_pack_matches_generated_pack(self, tmp_path, small_suite):
+        jsonl = tmp_path / "nedit.jsonl"
+        with open(jsonl, "w", encoding="utf-8") as stream:
+            write_application_trace(small_suite["nedit"], stream)
+        with StoreWriter(tmp_path / "store") as writer:
+            with open(jsonl, "r", encoding="utf-8") as stream:
+                packed = pack_jsonl(stream, writer)
+        store = TraceStore(tmp_path / "store")
+        assert packed == len(small_suite["nedit"].executions)
+        stored = store.trace("nedit")
+        for mem, st in zip(small_suite["nedit"], stored):
+            assert list(st.iter_events()) == mem.events
+
+    def test_fingerprint_independent_of_chunk_size(
+        self, tmp_path, small_suite
+    ):
+        fingerprints = []
+        for chunk_rows in (128, 4096):
+            path = tmp_path / f"chunks-{chunk_rows}"
+            with StoreWriter(path, chunk_rows=chunk_rows) as writer:
+                pack_trace(small_suite["nedit"], writer)
+            fingerprints.append(
+                TraceStore(path).fingerprints()["nedit"]
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_trace_pickle_is_tiny_and_reopens(self, store_and_suite):
+        store, _ = store_and_suite
+        trace = store.trace("xemacs")
+        blob = pickle.dumps(trace)
+        assert len(blob) < 500
+        clone = pickle.loads(blob)
+        assert clone.fingerprint == trace.fingerprint
+        assert (
+            list(clone.executions[0].iter_events())
+            == list(trace.executions[0].iter_events())
+        )
+
+
+class TestBitIdentity:
+    def test_serial_suite_identical(self, store_and_suite):
+        store, suite = store_and_suite
+        mem = ExperimentRunner(suite)
+        st = ExperimentRunner(store.suite())
+        for predictor in ("PCAP", "TP", "Ideal"):
+            assert mem.run_suite(predictor) == st.run_suite(predictor)
+
+    def test_parallel_suite_identical(self, store_and_suite):
+        store, suite = store_and_suite
+        mem = ExperimentRunner(suite)
+        st = ParallelExperimentRunner(store.suite(), jobs=2)
+        assert st.run_suite("PCAP") == mem.run_suite("PCAP")
+
+    def test_traced_runs_identical(self, store_and_suite):
+        store, suite = store_and_suite
+        mem = ExperimentRunner(suite, tracing=True, trace_capacity=512)
+        st = ExperimentRunner(
+            store.suite(), tracing=True, trace_capacity=512
+        )
+        assert (
+            mem.run_global("writer", "PCAP")
+            == st.run_global("writer", "PCAP")
+        )
+        assert (
+            mem.run_local("writer", "PCAP")
+            == st.run_local("writer", "PCAP")
+        )
+
+    def test_resilient_run_identical(self, store_and_suite, tmp_path):
+        store, suite = store_and_suite
+        mem = ExperimentRunner(suite)
+        st = ParallelExperimentRunner(store.suite(), jobs=1)
+        report = st.run_suite_resilient(
+            "PCAP", checkpoint=str(tmp_path / "cells.ckpt")
+        )
+        assert report.complete
+        assert report.results == mem.run_suite("PCAP")
+
+    def test_runner_fingerprint_comes_from_manifest(self, store_and_suite):
+        store, _ = store_and_suite
+        runner = ExperimentRunner(store.suite())
+        for name in APPLICATIONS:
+            assert runner.fingerprint(name) == store.fingerprints()[name]
+
+    def test_streaming_path_does_not_memoize(self, store_and_suite):
+        store, _ = store_and_suite
+        runner = ExperimentRunner(store.suite())
+        runner.run_global("nedit", "PCAP")
+        assert runner._filtered == {}
+
+    def test_prewarm_skips_streaming_traces(self, store_and_suite):
+        store, _ = store_and_suite
+        runner = ParallelExperimentRunner(store.suite(), jobs=2)
+        runner.prewarm()
+        assert runner._filtered == {}
+
+
+class TestFullScale:
+    def test_full_suite_scale_one_bit_identity(self, tmp_path):
+        """Acceptance gate: the six-application suite at scale 1.0 runs
+        store-backed with results bit-identical to the in-memory path.
+
+        Built directly (not via :func:`build_suite`) so the scale-1.0
+        entry does not evict the shared session suite from the
+        ``lru_cache``-backed suite memo mid-run."""
+        suite = {
+            name: build_application_trace(application_spec(name), scale=1.0)
+            for name in APPLICATIONS
+        }
+        path = tmp_path / "full-store"
+        with StoreWriter(path) as writer:
+            for trace in suite.values():
+                pack_trace(trace, writer)
+        store = TraceStore(path)
+        mem = ExperimentRunner(suite)
+        st = ExperimentRunner(store.suite())
+        assert mem.run_suite("PCAP") == st.run_suite("PCAP")
+
+
+class TestCorruption:
+    def _pack_one(self, path):
+        return pack_generated(
+            path, scale=0.25, applications=("nedit",), chunk_rows=256
+        )
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(TraceStoreError, match="not a trace store"):
+            TraceStore(tmp_path / "empty")
+
+    def test_corrupt_manifest_quarantined(self, tmp_path):
+        store_dir = tmp_path / "store"
+        self._pack_one(store_dir)
+        (store_dir / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(TraceStoreError, match="quarantined"):
+            TraceStore(store_dir)
+        assert (store_dir / (MANIFEST_NAME + ".corrupt")).exists()
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        store_dir = tmp_path / "store"
+        self._pack_one(store_dir)
+        manifest = json.loads(
+            (store_dir / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        manifest["version"] = 999
+        (store_dir / MANIFEST_NAME).write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        with pytest.raises(TraceStoreError, match="version"):
+            TraceStore(store_dir)
+
+    def test_truncated_column_quarantined(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store = self._pack_one(store_dir)
+        column = store_dir / "columns" / "time.bin"
+        with open(column, "r+b") as stream:
+            stream.truncate(column.stat().st_size // 2)
+        with pytest.raises(TraceStoreError, match="quarantined"):
+            list(store.trace("nedit").executions[0].iter_events())
+        assert (store_dir / "columns" / "time.bin.corrupt").exists()
+
+    def test_missing_column_is_clear_error(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store = self._pack_one(store_dir)
+        (store_dir / "columns" / "pid.bin").unlink()
+        with pytest.raises(TraceStoreError, match="missing"):
+            list(store.trace("nedit").executions[0].iter_events())
+
+    def test_faults_hook_fires_on_store_reads(self, tmp_path):
+        """The chaos harness's cache.corrupt-read site covers store
+        column reads: the injected truncation is detected, the file is
+        quarantined, and the error is a clean TraceStoreError."""
+        store_dir = tmp_path / "store"
+        store = self._pack_one(store_dir)
+        faults.install(faults.parse_fault_plan("cache.corrupt-read"))
+        try:
+            with pytest.raises(TraceStoreError, match="quarantined"):
+                list(store.trace("nedit").executions[0].iter_events())
+        finally:
+            faults.clear()
+        corrupted = list((store_dir / "columns").glob("*.corrupt"))
+        assert corrupted
+
+    def test_writer_refuses_to_overwrite(self, tmp_path):
+        store_dir = tmp_path / "store"
+        self._pack_one(store_dir)
+        with pytest.raises(TraceStoreError, match="refusing"):
+            StoreWriter(store_dir)
+
+    def test_aborted_writer_leaves_no_manifest(self, tmp_path, small_suite):
+        store_dir = tmp_path / "store"
+        with pytest.raises(RuntimeError):
+            with StoreWriter(store_dir) as writer:
+                writer.write_execution(small_suite["nedit"].executions[0])
+                raise RuntimeError("boom")
+        assert not (store_dir / MANIFEST_NAME).exists()
+        with pytest.raises(TraceStoreError, match="not a trace store"):
+            TraceStore(store_dir)
+
+
+class TestMemoryBound:
+    def test_streaming_peak_below_one_materialized_execution(self, tmp_path):
+        """Streaming the *whole* store allocates less than materializing
+        even a single execution's event list: peak memory tracks the
+        chunk window, not the trace."""
+        store = pack_generated(
+            tmp_path / "store",
+            scale=0.25,
+            applications=("mplayer",),
+            chunk_rows=512,
+        )
+        executions = store.trace("mplayer").executions
+        biggest = max(executions, key=lambda e: e.event_count)
+        assert biggest.event_count > 4 * 512
+
+        tracemalloc.start()
+        try:
+            for execution in executions:
+                for _ in execution.iter_events():
+                    pass
+            _, peak_streaming = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            events = list(biggest.iter_events())
+            _, peak_materialized = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert len(events) == biggest.event_count
+        assert peak_streaming < peak_materialized
+
+    def test_ten_x_scale_streams_with_flat_peak(self, tmp_path):
+        """A 10x-scale pack streams with roughly the same peak as a
+        1x-scale pack: memory is bounded by the chunk window, not the
+        store size."""
+        small = pack_generated(
+            tmp_path / "small",
+            scale=0.1,
+            applications=("nedit",),
+            chunk_rows=512,
+        )
+        big = pack_generated(
+            tmp_path / "big",
+            scale=1.0,
+            applications=("nedit",),
+            chunk_rows=512,
+        )
+        assert big.rows > 10 * small.rows
+
+        def streaming_peak(store: TraceStore) -> int:
+            tracemalloc.start()
+            try:
+                for execution in store.trace("nedit"):
+                    for _ in execution.iter_events():
+                        pass
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return peak
+
+        peak_small = streaming_peak(small)
+        peak_big = streaming_peak(big)
+        # >10x the data, peak within 3x (chunk-window bounded; the
+        # in-memory equivalent would grow with the row count).
+        assert peak_big < 3 * peak_small

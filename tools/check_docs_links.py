@@ -1,0 +1,68 @@
+"""Verify that relative Markdown links in the docs resolve.
+
+Scans ``docs/*.md``, ``README.md``, and the other top-level Markdown
+files for inline links (``[text](target)``) and checks that every
+relative target exists in the tree (anchors and external URLs are
+skipped; a ``#fragment`` suffix is stripped before the existence check).
+
+Run:  python tools/check_docs_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_GLOBS = ("docs/*.md", "*.md")
+
+#: Inline Markdown links, excluding images; target ends at the first
+#: unescaped closing parenthesis.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks are stripped before scanning (links in examples
+#: are illustrative, not navigation).
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def iter_docs(args: list[str]) -> list[Path]:
+    """The Markdown files to scan."""
+    if args:
+        return [Path(a) for a in args]
+    files: list[Path] = []
+    for pattern in DEFAULT_GLOBS:
+        files.extend(sorted(Path(".").glob(pattern)))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Return unresolved-link problems for one Markdown file."""
+    problems: list[str] = []
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            problems.append(
+                f"{path}:~{line}: broken link -> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every doc; exit non-zero when any link is broken."""
+    problems: list[str] = []
+    files = iter_docs(argv)
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"{len(files)} file(s) checked, {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

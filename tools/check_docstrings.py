@@ -1,0 +1,134 @@
+"""Offline docstring lint approximating ruff's pydocstyle D1 rules.
+
+CI enforces D1 (undocumented-public-*) on ``src/repro/traces`` and
+``src/repro/sim`` via the per-package ``ruff.toml`` files; this script
+reimplements the same checks with the standard library so the tree can
+be kept clean on machines without ruff installed:
+
+* D100 — missing module docstring
+* D101 — missing public class docstring
+* D102 — missing public method docstring
+* D103 — missing public function docstring
+* D104 — missing package (``__init__.py``) docstring
+* D106 — missing public nested-class docstring
+
+Matching the CI configuration, D105 (magic methods) and D107
+(``__init__``) are not enforced.  Names starting with ``_`` are private
+and exempt, as are methods decorated with ``@overload`` and bodies that
+are a bare ``...`` inside a Protocol definition.
+
+Run:  python tools/check_docstrings.py [paths...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ("src/repro/traces", "src/repro/sim")
+
+
+def iter_sources(paths: list[str]) -> list[Path]:
+    """Expand directories into sorted ``*.py`` file lists."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = decorator
+        if isinstance(name, ast.Attribute):
+            name = name.attr
+        elif isinstance(name, ast.Name):
+            name = name.id
+        if name == "overload":
+            return True
+    return False
+
+
+def _is_stub_body(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """A body that is exactly ``...`` (Protocol member stubs)."""
+    body = node.body
+    return (
+        len(body) == 1
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and body[0].value.value is Ellipsis
+    )
+
+
+def check_file(path: Path) -> list[str]:
+    """Return D1 problems for one file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        return [f"{path}:{error.lineno}: E999 {error.msg}"]
+
+    if ast.get_docstring(tree) is None:
+        code = "D104" if path.name == "__init__.py" else "D100"
+        kind = "package" if code == "D104" else "module"
+        problems.append(f"{path}:1: {code} missing {kind} docstring")
+
+    def walk(node: ast.AST, *, in_class: bool, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if not child.name.startswith("_"):
+                    if ast.get_docstring(child) is None:
+                        code = "D106" if depth else "D101"
+                        problems.append(
+                            f"{path}:{child.lineno}: {code} missing "
+                            f"docstring in public class {child.name}"
+                        )
+                    walk(child, in_class=True, depth=depth + 1)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                private = name.startswith("_") and not (
+                    name.startswith("__") and name.endswith("__")
+                )
+                magic = name.startswith("__") and name.endswith("__")
+                if (
+                    not private
+                    and not magic  # D105/D107 not enforced
+                    and not _is_overload(child)
+                    and not _is_stub_body(child)
+                    and ast.get_docstring(child) is None
+                ):
+                    code = "D102" if in_class else "D103"
+                    kind = "method" if in_class else "function"
+                    problems.append(
+                        f"{path}:{child.lineno}: {code} missing docstring "
+                        f"in public {kind} {name}"
+                    )
+                # Nested defs are not public API; do not descend.
+            elif isinstance(
+                child, (ast.If, ast.Try, ast.With, ast.AsyncWith)
+            ):
+                walk(child, in_class=in_class, depth=depth)
+
+    walk(tree, in_class=False, depth=0)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every source under the given (or default) paths."""
+    files = iter_sources(argv or list(DEFAULT_PATHS))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"{len(files)} files checked, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
