@@ -1,0 +1,75 @@
+"""Fused sweep kernel vs the classic per-cell sweep path.
+
+A genuine pytest-benchmark measurement of the paper's parameter-sweep
+workload (the TP timeout ladder plus the PCAP family — the variant set
+behind Figure 7) over the mozilla trace, run two ways:
+
+* per cell — one full simulation pass per predictor variant, the way
+  ``sweep()`` worked before the fused kernel existed, and
+* fused — one streaming pass that builds the predictor-independent
+  replay tape per execution and evaluates every variant against it.
+
+Both paths produce bit-identical :class:`ApplicationResult` rows (the
+equivalence suite in ``tests/test_fused.py`` and the CI gate enforce
+this); the benchmark exists to show *why* the fused path is the default
+and to catch regressions in its speedup.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.perf import sweep_variant_specs
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.fused import run_fused_application
+from repro.workloads import build_suite
+
+from conftest import ABLATION_SCALE
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig()
+
+
+@pytest.fixture(scope="module")
+def runner(config):
+    runner = ExperimentRunner(
+        build_suite(scale=ABLATION_SCALE, applications=("mozilla",)), config
+    )
+    # Warm the filter/schedule memos so both benches measure simulation
+    # work only, not the shared cache-filtering pass.
+    runner.filtered("mozilla")
+    return runner
+
+
+def test_sweep_per_cell(benchmark, runner, config):
+    specs = sweep_variant_specs(config)
+
+    def run():
+        return [
+            runner.run_global("mozilla", spec)
+            for spec in sweep_variant_specs(config)
+        ]
+
+    results = benchmark(run)
+    assert len(results) == len(specs)
+    print(f"\n  per-cell sweep: {len(specs)} variants, one pass each")
+
+
+def test_sweep_fused(benchmark, runner, config):
+    specs = sweep_variant_specs(config)
+
+    def run():
+        return run_fused_application(
+            runner, "mozilla", sweep_variant_specs(config)
+        )
+
+    results = benchmark(run)
+    assert len(results) == len(specs)
+    # The fused pass must agree with the per-cell path bit for bit.
+    classic = [
+        runner.run_global("mozilla", spec)
+        for spec in sweep_variant_specs(config)
+    ]
+    assert results == classic
+    print(f"\n  fused sweep: {len(specs)} variants, single pass")

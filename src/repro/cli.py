@@ -386,6 +386,12 @@ def _cmd_bench(args) -> int:
             print(f"no baseline at {args.baseline}; skipping the gate",
                   file=sys.stderr)
     print(render_report(report, baseline))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        from repro.perf import render_markdown_delta
+
+        with open(summary_path, "a", encoding="utf-8") as stream:
+            stream.write(render_markdown_delta(report, baseline))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as stream:
             stream.write(report.to_json())
@@ -456,9 +462,14 @@ def _cmd_run(args) -> int:
         multistate=args.multistate,
         policy=policy,
         checkpoint=checkpoint,
+        fused=args.fused,
+    )
+    fused_active = runner._fused_eligible(
+        args.fused, mode="global", multistate=args.multistate
     )
     print(f"resilient run: {len(predictors)} predictor(s) × "
-          f"{len(apps)} application(s), scale {args.scale}")
+          f"{len(apps)} application(s), scale {args.scale}"
+          + (" [fused]" if fused_active else ""))
     print(_render_run_results(report.matrix))
     print()
     print(report.ledger.render())
@@ -774,6 +785,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", metavar="SPEC",
                    help="inject faults per SPEC (see repro.faults; "
                         "$REPRO_FAULT_PLAN works for every command)")
+    p.add_argument("--fused", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="evaluate all predictors in one streaming pass "
+                        "per application (bit-identical results, one "
+                        "cell per app; default: $REPRO_FUSED). "
+                        "--no-fused forces the per-cell path")
     add_scale(p)
     p.set_defaults(fn=_cmd_run)
 

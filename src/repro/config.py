@@ -34,6 +34,32 @@ def default_jobs() -> int:
     return value
 
 
+#: Environment variable enabling the fused multi-predictor sweep kernel
+#: (:mod:`repro.sim.fused`) by default.
+FUSED_ENV_VAR = "REPRO_FUSED"
+
+
+def default_fused() -> bool:
+    """Whether fused execution is enabled by default.
+
+    Read from the ``REPRO_FUSED`` environment variable; ``1``/``true``/
+    ``yes``/``on`` (case-insensitive) enable it, anything else — or an
+    unset variable — leaves the classic per-cell path as the default.
+    """
+    raw = os.environ.get(FUSED_ENV_VAR)
+    if raw is None:
+        return False
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+def resolve_fused(fused: "bool | None" = None) -> bool:
+    """Normalize a fused-execution request (``None`` defers to the
+    ``REPRO_FUSED`` environment variable)."""
+    if fused is None:
+        return default_fused()
+    return bool(fused)
+
+
 @dataclass(frozen=True, slots=True)
 class SimulationConfig:
     """All knobs of one simulation run (paper §6 defaults).

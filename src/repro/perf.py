@@ -40,6 +40,13 @@ DEFAULT_TOLERANCE = 0.30
 QUICK_SCALE = 0.4
 FULL_SCALE = 1.0
 
+#: Minimum fused-over-per-cell sweep speedup the gate demands.  A
+#: within-report ratio of best rounds, so it is machine-insensitive:
+#: both paths run on the same box in the same process.  The committed
+#: baseline additionally holds the fused path's absolute throughput
+#: under the regular tolerance band.
+FUSED_SPEEDUP_FLOOR = 3.0
+
 
 @dataclass(slots=True)
 class BenchResult:
@@ -183,6 +190,51 @@ def run_benchmarks(
         items=len(filtered.accesses),
     )
 
+    # The fused-sweep pair: the paper's predictor comparison (a TP
+    # timeout sweep plus the PCAP family and the Base baseline) over the
+    # mozilla trace history, per-cell vs one fused streaming pass.  Both
+    # use the same prewarmed runner, so the ratio isolates simulation
+    # work; the equivalence of their outputs is CI's fused-equivalence
+    # step, not this benchmark's concern.
+    from repro.sim.experiment import ExperimentRunner
+    from repro.sim.fused import run_fused_application
+    from repro.workloads import build_suite
+
+    suite = build_suite(scale=scale, applications=("mozilla",))
+    runner = ExperimentRunner(suite, config)
+    lanes = 0
+    for _execution, s_filtered in runner.iter_filtered("mozilla"):
+        lanes += len(s_filtered.accesses)
+    sweep_rounds = max(5, rounds // 4)
+
+    def bench_sweep_per_cell() -> None:
+        for spec in sweep_variant_specs(config):
+            runner.run_global("mozilla", spec)
+
+    mean_s, best_s = _measure(bench_sweep_per_cell, rounds=sweep_rounds)
+    variant_count = len(sweep_variant_specs(config))
+    report.results["sweep_per_cell"] = BenchResult(
+        name="sweep_per_cell",
+        mean_s=mean_s,
+        best_s=best_s,
+        rounds=sweep_rounds,
+        items=lanes * variant_count,
+    )
+
+    def bench_fused_sweep() -> None:
+        run_fused_application(
+            runner, "mozilla", sweep_variant_specs(config)
+        )
+
+    mean_s, best_s = _measure(bench_fused_sweep, rounds=sweep_rounds)
+    report.results["fused_sweep"] = BenchResult(
+        name="fused_sweep",
+        mean_s=mean_s,
+        best_s=best_s,
+        rounds=sweep_rounds,
+        items=lanes * variant_count,
+    )
+
     cold_s, warm_s = _artifact_cache_times(scale, cache_dir)
     report.results["artifact_cache_warm"] = BenchResult(
         name="artifact_cache_warm",
@@ -247,10 +299,44 @@ def _artifact_cache_times(
     return cold, warm
 
 
+def sweep_variant_specs(config) -> list:
+    """The fused-sweep benchmark's variant set (fresh, stateful specs).
+
+    The full-suite comparison a sweep actually runs: the paper's TP
+    timeout ladder, the breakeven timeout, LT, the four main PCAP
+    variants, and the Base baseline — 13 lanes.
+    """
+    from repro.predictors.registry import make_spec, tp_spec
+
+    specs = [
+        tp_spec(config, timeout=value, name=f"TP({value:g}s)")
+        for value in (0.5, 1.0, 2.0, 5.0, 10.0, 20.0)
+    ]
+    specs.append(make_spec("TP-BE", config))
+    for name in ("LT", "PCAP", "PCAPh", "PCAPf", "PCAPfh", "Base"):
+        specs.append(make_spec(name, config))
+    return specs
+
+
+def fused_speedup(report: PerfReport) -> Optional[float]:
+    """Best-round fused-over-per-cell sweep speedup, or ``None`` when the
+    report lacks either entry (e.g. an old baseline)."""
+    per_cell = report.results.get("sweep_per_cell")
+    fused = report.results.get("fused_sweep")
+    if per_cell is None or fused is None or fused.best_s <= 0:
+        return None
+    return per_cell.best_s / fused.best_s
+
+
 #: Benchmarks whose throughput the regression gate enforces.  The
 #: artifact-cache timings are single-shot and I/O-bound — reported for
 #: humans, not gated.
-GATED_BENCHMARKS = ("cache_filter", "global_simulation")
+GATED_BENCHMARKS = (
+    "cache_filter",
+    "global_simulation",
+    "sweep_per_cell",
+    "fused_sweep",
+)
 
 
 def compare_reports(
@@ -264,6 +350,12 @@ def compare_reports(
     Returns an empty list when everything is within the band.  Raises
     ``ValueError`` when the reports are not comparable (different mode
     or scale — a baseline from another mode says nothing).
+
+    Beyond the per-benchmark band, the fused sweep kernel's speedup
+    claim is gated directly: the *current* report's fused-over-per-cell
+    best-round ratio must stay at or above
+    :data:`FUSED_SPEEDUP_FLOOR` (a within-report ratio, immune to the
+    runner being faster or slower than the baseline machine).
     """
     if current.mode != baseline.mode or current.scale != baseline.scale:
         raise ValueError(
@@ -284,6 +376,15 @@ def compare_reports(
                     name=name, baseline_ops=base_ops, current_ops=cur_ops
                 )
             )
+    speedup = fused_speedup(current)
+    if speedup is not None and speedup < FUSED_SPEEDUP_FLOOR:
+        regressions.append(
+            Regression(
+                name="fused_speedup_floor",
+                baseline_ops=FUSED_SPEEDUP_FLOOR,
+                current_ops=speedup,
+            )
+        )
     return regressions
 
 
@@ -310,4 +411,49 @@ def render_report(
             f"  artifact cache cold→warm speedup: "
             f"{cold.mean_s / warm.mean_s:.2f}x"
         )
+    speedup = fused_speedup(report)
+    if speedup is not None:
+        lines.append(
+            f"  fused sweep speedup: {speedup:.2f}x over per-cell "
+            f"(gate floor {FUSED_SPEEDUP_FLOOR:.1f}x)"
+        )
     return "\n".join(lines)
+
+
+def render_markdown_delta(
+    current: PerfReport, baseline: Optional[PerfReport]
+) -> str:
+    """A GitHub-flavoured markdown table of committed-vs-current deltas.
+
+    Written into ``$GITHUB_STEP_SUMMARY`` by ``repro bench`` so
+    perf-smoke regressions are diagnosable from the Actions UI without
+    a local reproduction.
+    """
+    lines = [
+        f"### Benchmarks ({current.mode} mode, scale {current.scale})",
+        "",
+        "| benchmark | best (ms) | mean (ms) | committed best (ms) "
+        "| Δ best throughput | gated |",
+        "| --- | ---: | ---: | ---: | ---: | :---: |",
+    ]
+    for name, result in sorted(current.results.items()):
+        base_cell = delta_cell = "—"
+        if baseline is not None and name in baseline.results:
+            base = baseline.results[name]
+            base_cell = f"{base.best_s * 1e3:.3f}"
+            if base.best_ops > 0:
+                delta_cell = f"{result.best_ops / base.best_ops - 1.0:+.1%}"
+        gated = "yes" if name in GATED_BENCHMARKS else "no"
+        lines.append(
+            f"| `{name}` | {result.best_s * 1e3:.3f} "
+            f"| {result.mean_s * 1e3:.3f} | {base_cell} "
+            f"| {delta_cell} | {gated} |"
+        )
+    speedup = fused_speedup(current)
+    if speedup is not None:
+        lines.append("")
+        lines.append(
+            f"Fused sweep speedup: **{speedup:.2f}x** over per-cell "
+            f"(gate floor {FUSED_SPEEDUP_FLOOR:.1f}x)."
+        )
+    return "\n".join(lines) + "\n"

@@ -54,6 +54,17 @@ class PredictorSpec:
     end_execution_hook: Optional[Callable[[], None]] = None
     #: Current size of the shared prediction structure, if any.
     table_size_fn: Optional[Callable[[], int]] = None
+    #: Declares that every predictor the factory builds is *stateless
+    #: with a constant intent*: ``initial_intent`` and ``on_access``
+    #: always return ``ShutdownIntent(delay=constant_intent_delay,
+    #: source=PRIMARY)`` and ``on_idle_end`` is a no-op (the timeout
+    #: predictor's contract).  The fused kernel
+    #: (:mod:`repro.sim.fused`) uses this to run such lanes without
+    #: materializing per-process predictor state; results stay
+    #: bit-identical because the global ready time of a constant-delay
+    #: predictor set is exactly ``max(anchors) + delay``.  Leave
+    #: ``None`` for anything stateful.
+    constant_intent_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.local_factory is None) == (self.omniscient is None):
@@ -85,7 +96,9 @@ def tp_spec(
     if name is None:
         name = "TP" if timeout is None else f"TP({value:.2f}s)"
     return PredictorSpec(
-        name=name, local_factory=lambda pid: TimeoutPredictor(value)
+        name=name,
+        local_factory=lambda pid: TimeoutPredictor(value),
+        constant_intent_delay=value,
     )
 
 

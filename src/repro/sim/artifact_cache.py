@@ -360,6 +360,37 @@ def filter_key(
     )
 
 
+def variant_set_fingerprint(
+    labels: tuple[str, ...] | list[str], config: "SimulationConfig"
+) -> str:
+    """Digest identifying a fused variant set under one configuration.
+
+    Fused artifacts hold *every* lane's result, so their keys must
+    change whenever the lane list (order included — lanes are positional)
+    or the simulation configuration does.  Labels are the same
+    predictor-identifying strings the classic per-cell path keys on
+    (registry names, ``"TP@0.5"``-style sweep labels), which is what
+    keeps classic and fused cache entries equally precise.
+    """
+    return _digest(
+        "variant-set", SCHEMA_VERSION, tuple(labels), repr(config)
+    )
+
+
+def fused_key(
+    fingerprint: str,
+    config: "SimulationConfig",
+    labels: tuple[str, ...] | list[str],
+) -> str:
+    """Cache key of one application's fused multi-variant pass."""
+    return _digest(
+        "fused",
+        SCHEMA_VERSION,
+        fingerprint,
+        variant_set_fingerprint(labels, config),
+    )
+
+
 def generated_suite_fingerprints(
     scale: float, applications: tuple[str, ...] | list[str]
 ) -> dict[str, str]:

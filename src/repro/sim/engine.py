@@ -39,6 +39,7 @@ from repro.disk.multistate import MultiStateDisk
 from repro.disk.energy import EnergyBreakdown
 from repro.errors import SimulationError
 from repro.predictors.base import (
+    IdleClass,
     IdleFeedback,
     LocalPredictor,
     PredictorSource,
@@ -123,6 +124,250 @@ def merged_schedule(
     entries.sort(key=lambda item: (item[0], item[1]))
     filtered._schedule = (execution, entries)
     return entries
+
+
+# ---------------------------------------------------------------------------
+# Shared replay tape (the fused multi-predictor kernel's front end).
+#
+# Requests are serialized but never stretch the timeline (spin-up latency
+# is energy-only — see repro.disk.disk), so the whole busy/gap structure
+# of an execution — disk busy intervals, gap boundaries, per-process idle
+# feedback, liveness, window starts, the busy-energy sum — is a function
+# of the (execution, filter result, configuration) triple alone and is
+# *identical under every predictor*.  ``build_replay_tape`` factors that
+# predictor-independent skeleton out of the replay loop below into a flat
+# step list that :mod:`repro.sim.fused` replays once per predictor
+# variant, touching only the per-variant state (predictor instances,
+# standing intents, the pending shutdown, stats and gap energy).  Every
+# boundary predicate and every float expression matches the classic loop
+# exactly, which is what makes fused results bit-identical.
+# ---------------------------------------------------------------------------
+
+#: Tape opcodes (first element of each step tuple).
+TAPE_SIMPLE = 0  #: access with no actionable gap (back-to-back or <= EPS)
+TAPE_GAP = 1  #: access ending a gap a shutdown could fire in
+TAPE_FORK = 2  #: process fork (liveness + try-point)
+TAPE_EXIT = 3  #: process exit (liveness + trailing feedback + try-point)
+
+
+class ReplayTape:
+    """Predictor-independent skeleton of one execution's replay.
+
+    ``steps`` is a flat list of tuples, one per schedule event:
+
+    * ``TAPE_SIMPLE``: ``(op, pid, access, feedback, busy_after,
+      register, idle_full)`` — an access arriving while the disk is busy
+      (or within EPSILON of it): no shutdown can fire, no gap is
+      recorded; ``idle_full`` is the (possibly zero) idle energy of the
+      sub-EPSILON resolved gap.
+    * ``TAPE_GAP``: ``(op, time, can_fire, record, window_start,
+      busy_until, gap_length, idle_full, long_period, gap_end,
+      busy_after, register, pid, feedback, access, anchor_max)`` — an
+      access ending a real gap.  ``can_fire`` is the engine's
+      try-shutdown gate, ``record`` its stats gate (distinct float
+      predicates, kept separately on purpose), ``idle_full`` the
+      no-shutdown idle energy, ``anchor_max`` the latest live intent
+      anchor (see below).
+    * ``TAPE_FORK``: ``(op, time, can_fire, window_start, busy_until,
+      pid, is_new, anchor_max)``.
+    * ``TAPE_EXIT``: ``(op, time, can_fire, window_start, busy_until,
+      pid, feedback, anchor_max)``.
+
+    ``feedback`` entries are prebuilt (shared, immutable)
+    :class:`~repro.predictors.base.IdleFeedback` objects — per-process
+    idle periods are predictor-independent, so one object serves every
+    variant.  ``anchor_max`` is the maximum, over live processes, of the
+    time their standing intent is anchored to (slot creation time before
+    the first access, last access completion after); for constant-delay
+    predictors (TP) the global ready time is exactly ``anchor_max +
+    delay``, which is what lets the fused kernel run timeout lanes
+    without materializing per-process state (IEEE-754 addition is
+    monotonic, so ``max(a_i) + d == max(a_i + d)`` bit-for-bit).
+    """
+
+    __slots__ = (
+        "steps",
+        "start",
+        "end",
+        "initial_pids",
+        "busy_energy",
+        "n_accesses",
+        "end_can_fire",
+        "end_record",
+        "trailing",
+        "final_window_start",
+        "final_busy_until",
+        "final_gap_end",
+        "final_idle_full",
+        "final_long",
+        "final_anchor_max",
+    )
+
+    def __init__(self) -> None:
+        self.steps: list[tuple] = []
+
+
+def build_replay_tape(
+    execution: ExecutionLike,
+    filtered: FilterResult,
+    config: SimulationConfig,
+) -> ReplayTape:
+    """Build the shared replay skeleton of one execution (see
+    :class:`ReplayTape`).  One pass over the merged schedule, mirroring
+    ``_run_local_based`` + :class:`~repro.disk.disk.SimulatedDisk`
+    expression for expression."""
+    schedule = merged_schedule(execution, filtered)
+    durations = filtered.columnar().durations_list(config)
+    params = config.disk
+    busy_power = params.busy_power
+    idle_power = params.idle_power
+    breakeven = config.breakeven
+    wait_window = config.wait_window
+    start, end = execution.start_time, execution.end_time
+
+    tape = ReplayTape()
+    steps = tape.steps
+    append = steps.append
+    tape.start = start
+    tape.end = end
+    tape.n_accesses = len(filtered.accesses)
+
+    busy_until = start
+    window_start = start
+    busy_energy = 0.0
+    #: pid -> intent anchor: slot creation time, then last access
+    #: completion (doubles as the per-process feedback gap start).
+    anchors: dict[int, float] = {}
+    initial_pids = tuple(execution.initial_pids)
+    tape.initial_pids = initial_pids
+    for pid in initial_pids:
+        anchors[pid] = start
+
+    LONG = IdleClass.LONG
+    SHORT = IdleClass.SHORT
+    SUB_WINDOW = IdleClass.SUB_WINDOW
+
+    for time, rank, payload, index in schedule:
+        if rank == 1:
+            pid = payload.pid
+            duration = durations[index]
+            can_fire = time > busy_until + _EPS
+            gap_length = time - busy_until
+            record = gap_length > _EPS
+            register = pid not in anchors
+            if register:
+                feedback = None
+            else:
+                anchor = anchors[pid]
+                feedback_length = time - anchor
+                if feedback_length > 1e-9:
+                    if feedback_length > breakeven:
+                        idle_class = LONG
+                    elif feedback_length > wait_window:
+                        idle_class = SHORT
+                    else:
+                        idle_class = SUB_WINDOW
+                    feedback = IdleFeedback(
+                        start=anchor, end=time, idle_class=idle_class
+                    )
+                else:
+                    feedback = None
+            if time < busy_until - _EPS:
+                # Back-to-back: serialized behind the current request,
+                # no gap resolution.
+                busy_after = busy_until + duration
+                if can_fire or record:  # pragma: no cover - contradiction
+                    raise SimulationError("gap inside a busy interval")
+                append(
+                    (TAPE_SIMPLE, pid, payload, feedback, busy_after,
+                     register, 0.0)
+                )
+            else:
+                gap_end = time if time > busy_until else busy_until
+                idle_full = idle_power * (gap_end - busy_until)
+                busy_after = time + duration
+                if can_fire or record:
+                    anchor_max = (
+                        max(anchors.values())
+                        if (can_fire and anchors)
+                        else None
+                    )
+                    append(
+                        (TAPE_GAP, time, can_fire, record, window_start,
+                         busy_until, gap_length, idle_full,
+                         gap_end - busy_until > breakeven, gap_end,
+                         busy_after, register, pid, feedback, payload,
+                         anchor_max)
+                    )
+                else:
+                    append(
+                        (TAPE_SIMPLE, pid, payload, feedback, busy_after,
+                         register, idle_full)
+                    )
+            anchors[pid] = busy_after
+            busy_energy += busy_power * duration
+            busy_until = busy_after
+            window_start = busy_until
+        elif rank == 0:
+            pid = payload.pid
+            can_fire = time > busy_until + _EPS
+            is_new = pid not in anchors
+            anchor_max = (
+                max(anchors.values()) if (can_fire and anchors) else None
+            )
+            append(
+                (TAPE_FORK, time, can_fire, window_start, busy_until, pid,
+                 is_new, anchor_max)
+            )
+            if is_new:
+                anchors[pid] = time
+            if time > window_start:
+                window_start = time
+        else:
+            pid = payload.pid
+            anchor = anchors.get(pid)
+            if anchor is None:
+                raise SimulationError(f"exit of unknown pid {pid}")
+            can_fire = time > busy_until + _EPS
+            # The try-point precedes the exit: the decision still spans
+            # the exiting process, so its anchor is part of the max.
+            anchor_max = (
+                max(anchors.values()) if (can_fire and anchors) else None
+            )
+            del anchors[pid]
+            feedback_length = time - anchor
+            if feedback_length > 1e-9:
+                feedback = IdleFeedback(
+                    start=anchor,
+                    end=time,
+                    idle_class=classify_gap(
+                        feedback_length, wait_window, breakeven
+                    ),
+                )
+            else:
+                feedback = None
+            append(
+                (TAPE_EXIT, time, can_fire, window_start, busy_until, pid,
+                 feedback, anchor_max)
+            )
+            if time > window_start:
+                window_start = time
+
+    tape.busy_energy = busy_energy
+    tape.end_can_fire = end > busy_until + _EPS
+    trailing = end - busy_until
+    tape.end_record = trailing > _EPS
+    tape.trailing = trailing
+    tape.final_window_start = window_start
+    tape.final_busy_until = busy_until
+    gap_end = end if end > busy_until else busy_until
+    tape.final_gap_end = gap_end
+    tape.final_idle_full = idle_power * (gap_end - busy_until)
+    tape.final_long = gap_end - busy_until > breakeven
+    tape.final_anchor_max = (
+        max(anchors.values()) if (tape.end_can_fire and anchors) else None
+    )
+    return tape
 
 
 def evaluate_local_stream(

@@ -1,0 +1,954 @@
+"""Fused single-pass multi-predictor simulation kernel.
+
+The classic experiment decomposition runs one full trace replay per
+(application × predictor variant) cell — O(variants × trace) work for
+O(trace) information, since the paper's comparisons (Figs. 6–9,
+Table 3) pit every predictor against the *same* idle-period stream.
+This module evaluates all registered predictor specs in one streaming
+pass per application:
+
+1. :func:`repro.sim.engine.build_replay_tape` walks each execution's
+   merged schedule **once**, producing the predictor-independent replay
+   skeleton (gap boundaries, busy intervals, prebuilt per-process idle
+   feedback, liveness, try-points, the shared busy-energy sum).  The
+   tape exists because requests never stretch the timeline — spin-up
+   latency is energy-only — so the busy/gap structure is identical
+   under every predictor.
+2. A per-variant *lane* replays the tape with only the per-predictor
+   state: predictor instances and standing intents, the pending
+   shutdown, prediction stats, and gap energy.  Three lane kinds:
+
+   * a **generic local lane** mirroring
+     :class:`~repro.core.global_predictor.GlobalShutdownPredictor` +
+     engine + disk accounting expression for expression;
+   * a **constant-intent lane** for timeout predictors
+     (``PredictorSpec.constant_intent_delay``), which needs no
+     per-process state at all: the global ready time is
+     ``anchor_max + delay`` (IEEE-754 addition is monotonic, so this is
+     bit-identical to maximizing per-slot ready times);
+   * an **omniscient lane** for Base/Ideal gap policies.
+
+**Bit-identity contract (DESIGN §10):** every lane reproduces the
+classic path's results bit for bit — same boundary predicates, same
+float expression shapes, same accumulation order.  The equivalence is
+enforced by ``tests/test_fused.py`` and CI's ``fused-equivalence``
+step.  Configurations the lanes do not model — structured tracing,
+multistate disks — are rejected by :func:`fused_supported` and fall
+back to the classic path.
+
+Parallel decomposition changes from (application × variant) cells to
+one fused cell per *application*; results merge through the same
+deterministic cell-ordered fold, and the resilience executor
+checkpoints fused cells under keys derived from the variant-set
+fingerprint (:func:`repro.sim.artifact_cache.variant_set_fingerprint`),
+so a changed variant list never resumes from stale entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.disk.energy import EnergyBreakdown, sum_breakdowns
+from repro.errors import SimulationError
+from repro.predictors.base import PredictorSource
+from repro.predictors.registry import PredictorSpec
+from repro.config import SimulationConfig
+from repro.sim.engine import (
+    ExecutionRunResult,
+    ReplayTape,
+    TAPE_FORK,
+    TAPE_GAP,
+    TAPE_SIMPLE,
+    build_replay_tape,
+)
+from repro.sim.experiment import ApplicationResult, ExperimentRunner
+from repro.sim.metrics import PredictionStats
+from repro.sim.parallel import ExperimentCell, ProgressHook, execute_cells
+from repro.units import EPSILON
+
+_EPS = EPSILON
+_PRIMARY = PredictorSource.PRIMARY
+
+
+@dataclass(slots=True)
+class FusedCellOutcome:
+    """One application's fused pass: per-variant results, in lane order.
+
+    Picklable, so fused cells travel through the fork pool, the
+    checkpoint journal, and the artifact cache exactly like classic
+    :class:`~repro.sim.experiment.ApplicationResult` cells.
+    """
+
+    application: str
+    results: list[ApplicationResult]
+
+
+def fused_supported(
+    runner: ExperimentRunner, *, multistate: bool = False
+) -> bool:
+    """Whether the fused kernel models this run.
+
+    The lanes implement the untraced three-state path only; structured
+    tracing and the §7 multistate extension take the classic per-cell
+    path (callers fall back silently — results are identical either
+    way, fused is purely an execution strategy).
+    """
+    return not multistate and not runner.tracing
+
+
+def replay_execution(
+    tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
+) -> ExecutionRunResult:
+    """Replay one execution's shared tape under one predictor spec."""
+    if spec.is_omniscient:
+        return _replay_omniscient(tape, spec, config)
+    if spec.constant_intent_delay is not None:
+        return _replay_constant(tape, spec.constant_intent_delay, config)
+    return _replay_local(tape, spec, config)
+
+
+def _finish(
+    tape: ReplayTape,
+    config: SimulationConfig,
+    stats: PredictionStats,
+    energy: tuple[float, float, float, float],
+    shutdown_count: int,
+    delayed_requests: int,
+    delay_seconds: float,
+    irritating: int,
+) -> ExecutionRunResult:
+    idle_short, idle_long, power_cycle, standby = energy
+    ledger = EnergyBreakdown(
+        busy=tape.busy_energy,
+        idle_short=idle_short,
+        idle_long=idle_long,
+        power_cycle=power_cycle,
+        standby=standby,
+    )
+    return ExecutionRunResult(
+        stats=stats,
+        ledger=ledger,
+        shutdowns=shutdown_count,
+        disk_accesses=tape.n_accesses,
+        delayed_requests=delayed_requests,
+        delay_seconds=delay_seconds,
+        irritating_delays=irritating,
+    )
+
+
+def _replay_local(
+    tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
+) -> ExecutionRunResult:
+    """Generic lane: full per-process predictor state, matching
+    GlobalShutdownPredictor + engine + SimulatedDisk bit for bit."""
+    factory = spec.local_factory
+    assert factory is not None
+    params = config.disk
+    idle_power = params.idle_power
+    standby_power = params.standby_power
+    cycle_energy = params.cycle_energy
+    transition_time = params.transition_time
+    shutdown_time = params.shutdown_time
+    spinup_time = params.spinup_time
+    breakeven = config.breakeven
+    start = tape.start
+
+    #: pid -> [ready_time, source, on_access, on_idle_end]; insertion
+    #: and deletion order mirror the classic slot dict, so the decision
+    #: scan tie-breaks identically.
+    slots: dict[int, list] = {}
+    for pid in tape.initial_pids:
+        predictor = factory(pid)
+        intent = predictor.initial_intent(start)
+        delay = intent.delay
+        slots[pid] = [
+            None if delay is None else start + delay,
+            intent.source,
+            predictor.on_access,
+            predictor.on_idle_end,
+        ]
+
+    pending_at: Optional[float] = None
+    pending_source = _PRIMARY
+    gaps = opportunities = 0
+    hits_primary = hits_backup = misses_primary = misses_backup = 0
+    unsaved = 0
+    idle_seconds = 0.0
+    idle_short = idle_long = power_cycle = standby = 0.0
+    shutdown_count = delayed_requests = irritating = 0
+    delay_seconds = 0.0
+
+    for step in tape.steps:
+        op = step[0]
+        if op == TAPE_SIMPLE:
+            _, pid, access, feedback, busy_after, register, idle_full = step
+            if register:
+                predictor = factory(pid)
+                intent = predictor.initial_intent(access.time)
+                delay = intent.delay
+                slot = [
+                    None if delay is None else access.time + delay,
+                    intent.source,
+                    predictor.on_access,
+                    predictor.on_idle_end,
+                ]
+                slots[pid] = slot
+            else:
+                slot = slots[pid]
+            if feedback is not None:
+                slot[3](feedback)
+            intent = slot[2](access)
+            delay = intent.delay
+            slot[0] = None if delay is None else busy_after + delay
+            slot[1] = intent.source
+            idle_short += idle_full
+        elif op == TAPE_GAP:
+            (_, time, can_fire, record, window_start, busy_until,
+             gap_length, idle_full, long_period, gap_end, busy_after,
+             register, pid, feedback, access, _anchor_max) = step
+            if can_fire and pending_at is None:
+                # try_shutdown: the decision scan, inlined.
+                blocked = False
+                latest: Optional[float] = None
+                source = _PRIMARY
+                for slot in slots.values():
+                    ready = slot[0]
+                    if ready is None:
+                        blocked = True
+                        break
+                    if latest is None or ready > latest:
+                        latest = ready
+                        source = slot[1]
+                if not blocked:
+                    if latest is None:
+                        # No live processes: ready time is -inf,
+                        # clamped to max(window_start, busy_until).
+                        fire_at = (
+                            window_start
+                            if window_start > busy_until
+                            else busy_until
+                        )
+                    else:
+                        fire_at = max(window_start, latest, busy_until)
+                    if fire_at < time - _EPS:
+                        pending_at = fire_at
+                        pending_source = source
+            if pending_at is None:
+                if long_period:
+                    idle_long += idle_full
+                else:
+                    idle_short += idle_full
+                if record:
+                    gaps += 1
+                    idle_seconds += gap_length
+                    if gap_length > breakeven:
+                        opportunities += 1
+            else:
+                shutdown_at = pending_at
+                amount = idle_power * (shutdown_at - busy_until)
+                if long_period:
+                    idle_long += amount
+                else:
+                    idle_short += amount
+                power_cycle += cycle_energy
+                off_window = gap_end - shutdown_at
+                residence = standby_power * max(
+                    0.0, off_window - transition_time
+                )
+                standby += residence
+                if long_period:
+                    idle_long += residence
+                else:
+                    idle_short += residence
+                shutdown_count += 1
+                delayed_requests += 1
+                delay_seconds += spinup_time + max(
+                    0.0, (shutdown_at + shutdown_time) - gap_end
+                )
+                if off_window <= breakeven:
+                    irritating += 1
+                if record:
+                    gaps += 1
+                    idle_seconds += gap_length
+                    opportunity = gap_length > breakeven
+                    if opportunity:
+                        opportunities += 1
+                    if gap_length - (shutdown_at - busy_until) > (
+                        breakeven + _EPS
+                    ):
+                        if pending_source is _PRIMARY:
+                            hits_primary += 1
+                        else:
+                            hits_backup += 1
+                    else:
+                        if pending_source is _PRIMARY:
+                            misses_primary += 1
+                        else:
+                            misses_backup += 1
+                        if opportunity:
+                            unsaved += 1
+            if register:
+                predictor = factory(pid)
+                intent = predictor.initial_intent(time)
+                delay = intent.delay
+                slot = [
+                    None if delay is None else time + delay,
+                    intent.source,
+                    predictor.on_access,
+                    predictor.on_idle_end,
+                ]
+                slots[pid] = slot
+            else:
+                slot = slots[pid]
+            if feedback is not None:
+                slot[3](feedback)
+            intent = slot[2](access)
+            delay = intent.delay
+            slot[0] = None if delay is None else busy_after + delay
+            slot[1] = intent.source
+            pending_at = None
+        elif op == TAPE_FORK:
+            _, time, can_fire, window_start, busy_until, pid, is_new, _am = (
+                step
+            )
+            if can_fire and pending_at is None:
+                blocked = False
+                latest = None
+                source = _PRIMARY
+                for slot in slots.values():
+                    ready = slot[0]
+                    if ready is None:
+                        blocked = True
+                        break
+                    if latest is None or ready > latest:
+                        latest = ready
+                        source = slot[1]
+                if not blocked:
+                    if latest is None:
+                        fire_at = (
+                            window_start
+                            if window_start > busy_until
+                            else busy_until
+                        )
+                    else:
+                        fire_at = max(window_start, latest, busy_until)
+                    if fire_at < time - _EPS:
+                        pending_at = fire_at
+                        pending_source = source
+            if is_new:
+                predictor = factory(pid)
+                intent = predictor.initial_intent(time)
+                delay = intent.delay
+                slots[pid] = [
+                    None if delay is None else time + delay,
+                    intent.source,
+                    predictor.on_access,
+                    predictor.on_idle_end,
+                ]
+        else:  # TAPE_EXIT
+            _, time, can_fire, window_start, busy_until, pid, feedback, _am = (
+                step
+            )
+            if can_fire and pending_at is None:
+                blocked = False
+                latest = None
+                source = _PRIMARY
+                for slot in slots.values():
+                    ready = slot[0]
+                    if ready is None:
+                        blocked = True
+                        break
+                    if latest is None or ready > latest:
+                        latest = ready
+                        source = slot[1]
+                if not blocked:
+                    if latest is None:
+                        fire_at = (
+                            window_start
+                            if window_start > busy_until
+                            else busy_until
+                        )
+                    else:
+                        fire_at = max(window_start, latest, busy_until)
+                    if fire_at < time - _EPS:
+                        pending_at = fire_at
+                        pending_source = source
+            slot = slots.pop(pid)
+            if feedback is not None:
+                slot[3](feedback)
+
+    # Trailing gap: final try-point, stats, then the finalize ledger.
+    if tape.end_can_fire and pending_at is None:
+        window_start = tape.final_window_start
+        busy_until = tape.final_busy_until
+        end = tape.end
+        blocked = False
+        latest = None
+        source = _PRIMARY
+        for slot in slots.values():
+            ready = slot[0]
+            if ready is None:
+                blocked = True
+                break
+            if latest is None or ready > latest:
+                latest = ready
+                source = slot[1]
+        if not blocked:
+            if latest is None:
+                fire_at = (
+                    window_start if window_start > busy_until else busy_until
+                )
+            else:
+                fire_at = max(window_start, latest, busy_until)
+            if fire_at < end - _EPS:
+                pending_at = fire_at
+                pending_source = source
+    busy_until = tape.final_busy_until
+    if tape.end_record:
+        gaps += 1
+        idle_seconds += tape.trailing
+        opportunity = tape.trailing > breakeven
+        if opportunity:
+            opportunities += 1
+        if pending_at is not None:
+            offset = pending_at - busy_until
+            if tape.trailing - offset > breakeven + _EPS:
+                if pending_source is _PRIMARY:
+                    hits_primary += 1
+                else:
+                    hits_backup += 1
+            else:
+                if pending_source is _PRIMARY:
+                    misses_primary += 1
+                else:
+                    misses_backup += 1
+                if opportunity:
+                    unsaved += 1
+    if pending_at is None:
+        if tape.final_long:
+            idle_long += tape.final_idle_full
+        else:
+            idle_short += tape.final_idle_full
+    else:
+        shutdown_at = pending_at
+        amount = idle_power * (shutdown_at - busy_until)
+        if tape.final_long:
+            idle_long += amount
+        else:
+            idle_short += amount
+        power_cycle += cycle_energy
+        off_window = tape.final_gap_end - shutdown_at
+        residence = standby_power * max(0.0, off_window - transition_time)
+        standby += residence
+        if tape.final_long:
+            idle_long += residence
+        else:
+            idle_short += residence
+        shutdown_count += 1
+        # Trailing gap: no request follows, nobody waits for a spin-up.
+
+    stats = PredictionStats(
+        gaps=gaps,
+        opportunities=opportunities,
+        hits_primary=hits_primary,
+        hits_backup=hits_backup,
+        misses_primary=misses_primary,
+        misses_backup=misses_backup,
+        unsaved_in_opportunity=unsaved,
+        idle_seconds=idle_seconds,
+    )
+    return _finish(
+        tape, config, stats,
+        (idle_short, idle_long, power_cycle, standby),
+        shutdown_count, delayed_requests, delay_seconds, irritating,
+    )
+
+
+def _replay_constant(
+    tape: ReplayTape, delay: float, config: SimulationConfig
+) -> ExecutionRunResult:
+    """Constant-intent (timeout) lane: no per-process state at all.
+
+    Every live process's standing intent is ``delay`` after its anchor
+    (creation, then last access completion) with PRIMARY attribution, so
+    the global decision is always ``anchor_max + delay`` — precomputed
+    on the tape — and nothing a process does can block the shutdown.
+    """
+    params = config.disk
+    idle_power = params.idle_power
+    standby_power = params.standby_power
+    cycle_energy = params.cycle_energy
+    transition_time = params.transition_time
+    shutdown_time = params.shutdown_time
+    spinup_time = params.spinup_time
+    breakeven = config.breakeven
+
+    pending_at: Optional[float] = None
+    gaps = opportunities = 0
+    hits = misses = unsaved = 0
+    idle_seconds = 0.0
+    idle_short = idle_long = power_cycle = standby = 0.0
+    shutdown_count = delayed_requests = irritating = 0
+    delay_seconds = 0.0
+
+    for step in tape.steps:
+        op = step[0]
+        if op == TAPE_SIMPLE:
+            idle_short += step[6]
+        elif op == TAPE_GAP:
+            (_, time, can_fire, record, window_start, busy_until,
+             gap_length, idle_full, long_period, gap_end, _busy_after,
+             _register, _pid, _feedback, _access, anchor_max) = step
+            if can_fire and pending_at is None:
+                if anchor_max is None:
+                    fire_at = (
+                        window_start
+                        if window_start > busy_until
+                        else busy_until
+                    )
+                else:
+                    fire_at = max(
+                        window_start, anchor_max + delay, busy_until
+                    )
+                if fire_at < time - _EPS:
+                    pending_at = fire_at
+            if pending_at is None:
+                if long_period:
+                    idle_long += idle_full
+                else:
+                    idle_short += idle_full
+                if record:
+                    gaps += 1
+                    idle_seconds += gap_length
+                    if gap_length > breakeven:
+                        opportunities += 1
+            else:
+                shutdown_at = pending_at
+                amount = idle_power * (shutdown_at - busy_until)
+                if long_period:
+                    idle_long += amount
+                else:
+                    idle_short += amount
+                power_cycle += cycle_energy
+                off_window = gap_end - shutdown_at
+                residence = standby_power * max(
+                    0.0, off_window - transition_time
+                )
+                standby += residence
+                if long_period:
+                    idle_long += residence
+                else:
+                    idle_short += residence
+                shutdown_count += 1
+                delayed_requests += 1
+                delay_seconds += spinup_time + max(
+                    0.0, (shutdown_at + shutdown_time) - gap_end
+                )
+                if off_window <= breakeven:
+                    irritating += 1
+                if record:
+                    gaps += 1
+                    idle_seconds += gap_length
+                    opportunity = gap_length > breakeven
+                    if opportunity:
+                        opportunities += 1
+                    if gap_length - (shutdown_at - busy_until) > (
+                        breakeven + _EPS
+                    ):
+                        hits += 1
+                    else:
+                        misses += 1
+                        if opportunity:
+                            unsaved += 1
+                pending_at = None
+        elif op == TAPE_FORK:
+            _, time, can_fire, window_start, busy_until, _p, _n, anchor_max = (
+                step
+            )
+            if can_fire and pending_at is None:
+                if anchor_max is None:
+                    fire_at = (
+                        window_start
+                        if window_start > busy_until
+                        else busy_until
+                    )
+                else:
+                    fire_at = max(
+                        window_start, anchor_max + delay, busy_until
+                    )
+                if fire_at < time - _EPS:
+                    pending_at = fire_at
+        else:  # TAPE_EXIT
+            _, time, can_fire, window_start, busy_until, _p, _f, anchor_max = (
+                step
+            )
+            if can_fire and pending_at is None:
+                if anchor_max is None:
+                    fire_at = (
+                        window_start
+                        if window_start > busy_until
+                        else busy_until
+                    )
+                else:
+                    fire_at = max(
+                        window_start, anchor_max + delay, busy_until
+                    )
+                if fire_at < time - _EPS:
+                    pending_at = fire_at
+
+    if tape.end_can_fire and pending_at is None:
+        window_start = tape.final_window_start
+        busy_until = tape.final_busy_until
+        anchor_max = tape.final_anchor_max
+        if anchor_max is None:
+            fire_at = window_start if window_start > busy_until else busy_until
+        else:
+            fire_at = max(window_start, anchor_max + delay, busy_until)
+        if fire_at < tape.end - _EPS:
+            pending_at = fire_at
+    busy_until = tape.final_busy_until
+    if tape.end_record:
+        gaps += 1
+        idle_seconds += tape.trailing
+        opportunity = tape.trailing > breakeven
+        if opportunity:
+            opportunities += 1
+        if pending_at is not None:
+            if tape.trailing - (pending_at - busy_until) > breakeven + _EPS:
+                hits += 1
+            else:
+                misses += 1
+                if opportunity:
+                    unsaved += 1
+    if pending_at is None:
+        if tape.final_long:
+            idle_long += tape.final_idle_full
+        else:
+            idle_short += tape.final_idle_full
+    else:
+        shutdown_at = pending_at
+        amount = idle_power * (shutdown_at - busy_until)
+        if tape.final_long:
+            idle_long += amount
+        else:
+            idle_short += amount
+        power_cycle += cycle_energy
+        off_window = tape.final_gap_end - shutdown_at
+        residence = standby_power * max(0.0, off_window - transition_time)
+        standby += residence
+        if tape.final_long:
+            idle_long += residence
+        else:
+            idle_short += residence
+        shutdown_count += 1
+
+    stats = PredictionStats(
+        gaps=gaps,
+        opportunities=opportunities,
+        hits_primary=hits,
+        misses_primary=misses,
+        unsaved_in_opportunity=unsaved,
+        idle_seconds=idle_seconds,
+    )
+    return _finish(
+        tape, config, stats,
+        (idle_short, idle_long, power_cycle, standby),
+        shutdown_count, delayed_requests, delay_seconds, irritating,
+    )
+
+
+def _replay_omniscient(
+    tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
+) -> ExecutionRunResult:
+    """Omniscient lane (Base / Ideal): gap-level policy over the tape."""
+    policy = spec.omniscient
+    assert policy is not None
+    shutdown_offset = policy.shutdown_offset
+    params = config.disk
+    idle_power = params.idle_power
+    standby_power = params.standby_power
+    cycle_energy = params.cycle_energy
+    transition_time = params.transition_time
+    shutdown_time = params.shutdown_time
+    spinup_time = params.spinup_time
+    breakeven = config.breakeven
+
+    gaps = opportunities = hits = misses = unsaved = 0
+    idle_seconds = 0.0
+    idle_short = idle_long = power_cycle = standby = 0.0
+    shutdown_count = delayed_requests = irritating = 0
+    delay_seconds = 0.0
+
+    for step in tape.steps:
+        op = step[0]
+        if op == TAPE_SIMPLE:
+            idle_short += step[6]
+        elif op == TAPE_GAP:
+            gap_length = step[6]
+            record = step[3]
+            idle_full = step[7]
+            long_period = step[8]
+            offset = shutdown_offset(gap_length) if record else None
+            if offset is not None and offset < gap_length - _EPS:
+                busy_until = step[5]
+                gap_end = step[9]
+                shutdown_at = busy_until + offset
+                amount = idle_power * (shutdown_at - busy_until)
+                if long_period:
+                    idle_long += amount
+                else:
+                    idle_short += amount
+                power_cycle += cycle_energy
+                off_window = gap_end - shutdown_at
+                residence = standby_power * max(
+                    0.0, off_window - transition_time
+                )
+                standby += residence
+                if long_period:
+                    idle_long += residence
+                else:
+                    idle_short += residence
+                shutdown_count += 1
+                delayed_requests += 1
+                delay_seconds += spinup_time + max(
+                    0.0, (shutdown_at + shutdown_time) - gap_end
+                )
+                if off_window <= breakeven:
+                    irritating += 1
+                gaps += 1
+                idle_seconds += gap_length
+                opportunity = gap_length > breakeven
+                if opportunity:
+                    opportunities += 1
+                if gap_length - offset > breakeven + _EPS:
+                    hits += 1
+                else:
+                    misses += 1
+                    if opportunity:
+                        unsaved += 1
+            else:
+                if long_period:
+                    idle_long += idle_full
+                else:
+                    idle_short += idle_full
+                if record:
+                    gaps += 1
+                    idle_seconds += gap_length
+                    if gap_length > breakeven:
+                        opportunities += 1
+        # Forks and exits are invisible to omniscient policies.
+
+    shutdown_at = None
+    if tape.end_record:
+        trailing = tape.trailing
+        offset = shutdown_offset(trailing)
+        gaps += 1
+        idle_seconds += trailing
+        opportunity = trailing > breakeven
+        if opportunity:
+            opportunities += 1
+        if offset is not None and offset < trailing - _EPS:
+            shutdown_at = tape.final_busy_until + offset
+            if trailing - offset > breakeven + _EPS:
+                hits += 1
+            else:
+                misses += 1
+                if opportunity:
+                    unsaved += 1
+    if shutdown_at is None:
+        if tape.final_long:
+            idle_long += tape.final_idle_full
+        else:
+            idle_short += tape.final_idle_full
+    else:
+        busy_until = tape.final_busy_until
+        amount = idle_power * (shutdown_at - busy_until)
+        if tape.final_long:
+            idle_long += amount
+        else:
+            idle_short += amount
+        power_cycle += cycle_energy
+        off_window = tape.final_gap_end - shutdown_at
+        residence = standby_power * max(0.0, off_window - transition_time)
+        standby += residence
+        if tape.final_long:
+            idle_long += residence
+        else:
+            idle_short += residence
+        shutdown_count += 1
+
+    stats = PredictionStats(
+        gaps=gaps,
+        opportunities=opportunities,
+        hits_primary=hits,
+        misses_primary=misses,
+        unsaved_in_opportunity=unsaved,
+        idle_seconds=idle_seconds,
+    )
+    return _finish(
+        tape, config, stats,
+        (idle_short, idle_long, power_cycle, standby),
+        shutdown_count, delayed_requests, delay_seconds, irritating,
+    )
+
+
+def run_fused_application(
+    runner: ExperimentRunner,
+    application: str,
+    specs: Sequence[PredictorSpec],
+) -> list[ApplicationResult]:
+    """All ``specs`` over one application's trace history in one pass.
+
+    Streams executions through
+    :meth:`~repro.sim.experiment.ExperimentRunner.iter_filtered` (so
+    store-backed traces stay memory-bounded), builds each execution's
+    tape once, and advances every lane over it.  Per variant, the
+    sequence of factory calls, feedback deliveries, and
+    ``on_execution_end`` hooks is exactly the classic
+    :meth:`~repro.sim.experiment.ExperimentRunner.run_global` sequence,
+    so shared-table predictors (PCAP, LT) evolve identically.
+    """
+    if not fused_supported(runner):
+        raise SimulationError(
+            "fused execution does not support structured tracing; "
+            "use the classic per-cell path"
+        )
+    config = runner.config
+    count = len(specs)
+    stats = [PredictionStats() for _ in range(count)]
+    ledgers: list[list[EnergyBreakdown]] = [[] for _ in range(count)]
+    accesses = [0] * count
+    shutdowns = [0] * count
+    peak_table = [0] * count
+    delayed = [0] * count
+    delay_seconds = [0.0] * count
+    irritating = [0] * count
+    executions = 0
+    for execution, filtered in runner.iter_filtered(application):
+        executions += 1
+        tape = build_replay_tape(execution, filtered, config)
+        for lane, spec in enumerate(specs):
+            result = replay_execution(tape, spec, config)
+            stats[lane].merge(result.stats)
+            ledgers[lane].append(result.ledger)
+            accesses[lane] += result.disk_accesses
+            shutdowns[lane] += result.shutdowns
+            delayed[lane] += result.delayed_requests
+            delay_seconds[lane] += result.delay_seconds
+            irritating[lane] += result.irritating_delays
+            if spec.table_size is not None:
+                peak_table[lane] = max(peak_table[lane], spec.table_size)
+            spec.on_execution_end()
+    return [
+        ApplicationResult(
+            application=application,
+            predictor=spec.name,
+            stats=stats[lane],
+            ledger=sum_breakdowns(ledgers[lane]),
+            executions=executions,
+            total_disk_accesses=accesses[lane],
+            shutdowns=shutdowns[lane],
+            table_size=(
+                peak_table[lane] if spec.table_size is not None else None
+            ),
+            delayed_requests=delayed[lane],
+            delay_seconds=delay_seconds[lane],
+            irritating_delays=irritating[lane],
+        )
+        for lane, spec in enumerate(specs)
+    ]
+
+
+def run_fused_cells(
+    runner: ExperimentRunner,
+    applications: Sequence[str],
+    labels: Sequence[str],
+    make_specs: Callable[[], list[PredictorSpec]],
+    *,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+    policy=None,
+    checkpoint=None,
+    use_cache: bool = True,
+):
+    """Fan one fused cell per application across the execution layer.
+
+    ``labels`` name the variant lanes (they parameterize the artifact
+    cache and checkpoint keys, so they must identify the variants the
+    way classic cell labels do); ``make_specs`` builds one fresh spec
+    per label — called inside each cell, because specs are stateful.
+    ``use_cache=False`` bypasses the artifact cache (for variant sets
+    built by opaque callables, whose labels do not pin down semantics).
+
+    Returns ``(outcomes, ledger)`` where ``outcomes`` maps application
+    → :class:`FusedCellOutcome` and ``ledger`` is the resilient
+    executor's :class:`~repro.sim.resilience.RunLedger` (``None`` on
+    the plain path).  With ``policy``/``checkpoint``, failed cells are
+    missing from ``outcomes`` — callers inspect the ledger.
+    """
+    from repro.sim.artifact_cache import fused_key
+
+    label_tuple = tuple(labels)
+    config = runner.config
+    cache = runner.artifact_cache if use_cache else None
+    lane_label = f"fused[{len(label_tuple)}]"
+    apps = list(applications)
+    cells = [
+        ExperimentCell(index=index, application=app, predictor=lane_label)
+        for index, app in enumerate(apps)
+    ]
+
+    def run_cell(cell: ExperimentCell) -> FusedCellOutcome:
+        application = cell.application
+        key = None
+        if cache is not None:
+            key = fused_key(
+                runner.fingerprint(application), config, label_tuple
+            )
+            hit, value = cache.get(key)
+            if hit and isinstance(value, FusedCellOutcome):
+                return value
+        specs = make_specs()
+        outcome = FusedCellOutcome(
+            application=application,
+            results=run_fused_application(runner, application, specs),
+        )
+        if key is not None:
+            cache.put(key, outcome)
+        return outcome
+
+    # Warm the filter memo in the parent (forked workers inherit it
+    # copy-on-write); streaming traces stay lazy, as in prewarm().
+    for app in apps:
+        if not getattr(runner.suite[app], "streaming", False):
+            runner.filtered(app)
+
+    if policy is not None or checkpoint is not None:
+        from repro.sim.artifact_cache import variant_set_fingerprint
+        from repro.sim.resilience import cell_key, run_cells
+
+        keys = None
+        if checkpoint is not None:
+            fingerprint = variant_set_fingerprint(label_tuple, config)
+            keys = [
+                cell_key(
+                    runner.fingerprint(app), f"fused:{fingerprint}", config
+                )
+                for app in apps
+            ]
+        ledger = run_cells(
+            cells,
+            run_cell,
+            jobs=jobs,
+            policy=policy,
+            progress=progress,
+            checkpoint=checkpoint,
+            cell_keys=keys,
+        )
+        results = ledger.results
+    else:
+        ledger = None
+        results = execute_cells(cells, run_cell, jobs=jobs, progress=progress)
+    outcomes = {item.cell.application: item.result for item in results}
+    return outcomes, ledger

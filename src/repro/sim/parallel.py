@@ -342,13 +342,23 @@ class ParallelExperimentRunner(ExperimentRunner):
         applications: Optional[Sequence[str]] = None,
         multistate: bool = False,
         jobs: Optional[int] = None,
+        fused: Optional[bool] = None,
     ) -> dict[str, dict[str, ApplicationResult]]:
         """``{application: {predictor: result}}`` over a worker pool;
-        bit-identical to the serial :class:`ExperimentRunner` matrix."""
+        bit-identical to the serial :class:`ExperimentRunner` matrix.
+
+        ``fused`` (``None`` defers to ``REPRO_FUSED``) decomposes by
+        application instead of (application × predictor): each cell
+        decodes its trace once and evaluates every predictor against it
+        (:mod:`repro.sim.fused`), with bit-identical results.  Local
+        mode, multistate, and tracing runs keep the classic cells.
+        """
         if mode not in ("global", "local"):
             raise ValueError(f"unknown mode {mode!r}")
         apps = list(applications) if applications else self.applications
         names = list(predictors)
+        if self._fused_eligible(fused, mode=mode, multistate=multistate):
+            return self._run_matrix_fused(names, apps, jobs=jobs)
         cells = [
             ExperimentCell(
                 index=len(names) * row + column,
@@ -389,6 +399,7 @@ class ParallelExperimentRunner(ExperimentRunner):
         jobs: Optional[int] = None,
         policy=None,
         checkpoint=None,
+        fused: Optional[bool] = None,
     ):
         """A matrix run that survives crashed, hung, or failing cells.
 
@@ -401,6 +412,12 @@ class ParallelExperimentRunner(ExperimentRunner):
         or a path) completed cells are journalled and skipped on
         re-runs.  On the all-success path the matrix is bit-identical
         to :meth:`run_matrix`.
+
+        With ``fused``, retries/checkpoints apply per fused cell (one
+        per application, spanning every predictor); checkpoint keys
+        embed the variant-set fingerprint, so adding or removing a
+        predictor never resumes from stale journal entries.  A failed
+        fused cell drops its whole application row from the matrix.
         """
         from repro.sim.resilience import MatrixReport, cell_key, run_cells
 
@@ -408,6 +425,15 @@ class ParallelExperimentRunner(ExperimentRunner):
             raise ValueError(f"unknown mode {mode!r}")
         apps = list(applications) if applications else self.applications
         names = list(predictors)
+        if self._fused_eligible(fused, mode=mode, multistate=multistate):
+            return self._run_matrix_fused(
+                names,
+                apps,
+                jobs=jobs,
+                policy=policy,
+                checkpoint=checkpoint,
+                resilient=True,
+            )
         cells = [
             ExperimentCell(
                 index=len(names) * row + column,
@@ -451,6 +477,68 @@ class ParallelExperimentRunner(ExperimentRunner):
         for item in ledger.results:
             row = matrix.setdefault(item.cell.application, {})
             row[item.cell.predictor] = item.result
+        return MatrixReport(matrix=matrix, ledger=ledger)
+
+    def _fused_eligible(
+        self, fused: Optional[bool], *, mode: str, multistate: bool
+    ) -> bool:
+        """Whether this matrix run should take the fused path."""
+        from repro.config import resolve_fused
+        from repro.sim.fused import fused_supported
+
+        return (
+            resolve_fused(fused)
+            and mode == "global"
+            and fused_supported(self, multistate=multistate)
+        )
+
+    def _run_matrix_fused(
+        self,
+        names: list[str],
+        apps: list[str],
+        *,
+        jobs: Optional[int],
+        policy=None,
+        checkpoint=None,
+        resilient: bool = False,
+    ):
+        """Application-major matrix via the fused kernel (one cell per
+        application, every predictor evaluated against one decoding)."""
+        from repro.predictors.registry import make_spec
+        from repro.sim.fused import run_fused_cells
+
+        config = self.config
+
+        def make_specs():
+            return [make_spec(name, config) for name in names]
+
+        if resilient and policy is None and checkpoint is None:
+            from repro.sim.resilience import ResiliencePolicy
+
+            policy = ResiliencePolicy()
+        outcomes, ledger = run_fused_cells(
+            self,
+            apps,
+            names,
+            make_specs,
+            jobs=self.jobs if jobs is None else jobs,
+            progress=self.progress,
+            policy=policy,
+            checkpoint=checkpoint,
+        )
+        matrix: dict[str, dict[str, ApplicationResult]] = {}
+        for application in apps:
+            outcome = outcomes.get(application)
+            if outcome is None:
+                continue
+            # Key rows by the *requested* names (classic rows are keyed
+            # by cell.predictor, which is the registry name, not the
+            # spec's display name).
+            matrix[application] = dict(zip(names, outcome.results))
+        if ledger is None:
+            return matrix
+        from repro.sim.resilience import MatrixReport
+
         return MatrixReport(matrix=matrix, ledger=ledger)
 
     def run_suite_resilient(

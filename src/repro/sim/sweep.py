@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-from repro.config import SimulationConfig
+from repro.config import SimulationConfig, resolve_fused
 from repro.predictors.registry import PredictorSpec
 from repro.sim.experiment import ApplicationResult, ExperimentRunner
 from repro.sim.metrics import PredictionStats
@@ -83,6 +83,7 @@ def sweep(
     progress: Optional[ProgressHook] = None,
     resilience=None,
     checkpoint=None,
+    fused: Optional[bool] = None,
 ) -> list[SweepPoint]:
     """Run one predictor across the suite for each parameter value.
 
@@ -107,11 +108,38 @@ def sweep(
     were journalled.  Checkpoint cell keys embed the swept value (via
     the cell label) and the point's full configuration, so a changed
     sweep never resumes from stale entries.
+
+    ``fused`` (``None`` defers to the ``REPRO_FUSED`` environment
+    variable) evaluates every point's predictor — and the shared Base
+    baseline — in one streaming pass per application via
+    :mod:`repro.sim.fused` instead of one cell per (point ×
+    application).  Results are bit-identical either way; fused is
+    purely an execution strategy.  Sweeps that rebuild the
+    configuration per point (``make_config``) or record structured
+    traces replay the trace per variant anyway, so they keep the
+    classic decomposition regardless of ``fused``.
     """
     if make_config is not None and make_spec is not None:
         raise ValueError("pass make_config or make_spec, not both")
     apps = list(applications) if applications else runner.applications
     point_values = list(values)
+
+    if (
+        resolve_fused(fused)
+        and make_config is None
+        and not runner.tracing
+    ):
+        return _sweep_fused(
+            runner,
+            point_values,
+            make_spec=make_spec,
+            predictor=predictor,
+            apps=apps,
+            jobs=jobs,
+            progress=progress,
+            resilience=resilience,
+            checkpoint=checkpoint,
+        )
 
     # Per-point runners; with_config shares the memoized cache-filtering
     # pass whenever the cache configuration is unchanged.
@@ -227,6 +255,108 @@ def sweep(
             accesses += result.total_disk_accesses
             key = (_baseline_key(point_runners[point].config), application)
             base_energy += results[baseline_cells[key]].result.energy
+        points.append(
+            SweepPoint(
+                value=value,
+                hit_fraction=stats.hit_fraction,
+                miss_fraction=stats.miss_fraction,
+                hit_primary_fraction=stats.hit_primary_fraction,
+                hit_backup_fraction=stats.hit_backup_fraction,
+                energy=energy,
+                savings=1.0 - energy / base_energy if base_energy else 0.0,
+                shutdowns=shutdowns,
+                delayed_requests=delayed,
+                irritating_delays=irritating,
+                opportunities=stats.opportunities,
+                disk_accesses=accesses,
+            )
+        )
+    return points
+
+
+def _sweep_fused(
+    runner: ExperimentRunner,
+    point_values: list,
+    *,
+    make_spec,
+    predictor: str,
+    apps: list[str],
+    jobs: Optional[int],
+    progress: Optional[ProgressHook],
+    resilience,
+    checkpoint,
+) -> list[SweepPoint]:
+    """Application-major sweep through the fused kernel.
+
+    One fused cell per application evaluates every point's spec (plus
+    the shared Base baseline) against one decoding of the trace.  The
+    per-point fold below is the same accumulation, in the same
+    (point-major, application-order) sequence, as the classic path —
+    which is what keeps fused sweeps bit-identical.
+    """
+    from repro.predictors.registry import make_spec as registry_make_spec
+    from repro.sim.fused import run_fused_cells
+
+    config = runner.config
+    labels = [f"{predictor}@{value!r}" for value in point_values]
+    # When the swept predictor *is* the baseline, every point doubles as
+    # its own baseline (mirroring the classic cell-sharing rule).
+    sweeping_base = make_spec is None and predictor == "Base"
+    base_lane: Optional[int] = None
+    if not sweeping_base:
+        base_lane = len(labels)
+        labels.append("Base")
+
+    def make_specs() -> list[PredictorSpec]:
+        specs = []
+        for value in point_values:
+            if make_spec is not None:
+                specs.append(make_spec(value, config))
+            else:
+                specs.append(registry_make_spec(predictor, config))
+        if not sweeping_base:
+            specs.append(registry_make_spec("Base", config))
+        return specs
+
+    outcomes, ledger = run_fused_cells(
+        runner,
+        apps,
+        labels,
+        make_specs,
+        jobs=jobs,
+        progress=progress,
+        policy=resilience,
+        checkpoint=checkpoint,
+        # A make_spec callable is opaque — its cell labels do not pin
+        # down the predictor it builds, so persistent artifacts would
+        # risk stale hits across code changes.  Registry names do.
+        use_cache=make_spec is None,
+    )
+    if ledger is not None:
+        from repro.sim.resilience import raise_on_failures
+
+        raise_on_failures(ledger, "sweep")
+
+    points: list[SweepPoint] = []
+    for point, value in enumerate(point_values):
+        stats = PredictionStats()
+        energy = 0.0
+        base_energy = 0.0
+        shutdowns = 0
+        delayed = 0
+        irritating = 0
+        accesses = 0
+        for application in apps:
+            lanes = outcomes[application].results
+            result = lanes[point]
+            stats.merge(result.stats)
+            energy += result.energy
+            shutdowns += result.shutdowns
+            delayed += result.delayed_requests
+            irritating += result.irritating_delays
+            accesses += result.total_disk_accesses
+            base = lanes[0] if base_lane is None else lanes[base_lane]
+            base_energy += base.energy
         points.append(
             SweepPoint(
                 value=value,

@@ -1,0 +1,132 @@
+"""CI gate: the fused sweep kernel is bit-identical to the per-cell path.
+
+Runs the paper's two sweep shapes both ways — through the fused
+single-pass kernel (``repro.sim.fused``) and through the classic
+one-simulation-per-cell decomposition — and fails loudly if any table
+differs by even a bit:
+
+* the TP timeout ladder (the Figure-7 parameter sweep), serial and on a
+  2-worker pool, and
+* the PCAP family matrix (PCAP/PCAPh/PCAPf/PCAPfh + Base), serial and
+  on a 2-worker pool.
+
+On mismatch the script prints a unified diff of the two result tables
+(one line per application × variant, every ApplicationResult field) and
+exits non-zero.  Scale defaults to 0.25 (override with
+``REPRO_EQUIV_SCALE``) so the gate stays inside the CI smoke budget.
+
+Run:  PYTHONPATH=src python tools/check_fused_equivalence.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import sys
+from dataclasses import fields
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import SimulationConfig
+from repro.predictors.registry import tp_spec
+from repro.sim.parallel import ParallelExperimentRunner, fork_available
+from repro.sim.sweep import sweep
+from repro.workloads import build_suite
+
+TIMEOUTS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0)
+PCAP_FAMILY = ("PCAP", "PCAPh", "PCAPf", "PCAPfh", "Base")
+
+
+def describe_result(result) -> str:
+    """One stable line per ApplicationResult, every field spelled out."""
+    parts = []
+    for field in fields(result):
+        value = getattr(result, field.name)
+        parts.append(f"{field.name}={value!r}")
+    return " ".join(parts)
+
+
+def sweep_table(points) -> list[str]:
+    return [f"point {describe_result(point)}" for point in points]
+
+
+def matrix_table(matrix) -> list[str]:
+    lines = []
+    for application in sorted(matrix):
+        for name in sorted(matrix[application]):
+            result = matrix[application][name]
+            lines.append(
+                f"{application} × {name}: {describe_result(result)}"
+            )
+    return lines
+
+
+def check(label: str, fused_lines: list[str], classic_lines: list[str]) -> bool:
+    if fused_lines == classic_lines:
+        print(f"ok: {label} — {len(fused_lines)} rows bit-identical")
+        return True
+    print(f"MISMATCH: {label}", file=sys.stderr)
+    diff = difflib.unified_diff(
+        classic_lines,
+        fused_lines,
+        fromfile=f"{label} (per-cell)",
+        tofile=f"{label} (fused)",
+        lineterm="",
+    )
+    for line in diff:
+        print(line, file=sys.stderr)
+    return False
+
+
+def main() -> int:
+    scale = float(os.environ.get("REPRO_EQUIV_SCALE", "0.25"))
+    config = SimulationConfig()
+    suite = build_suite(scale=scale)
+    runner = ParallelExperimentRunner(suite, config)
+    job_counts = [1, 2] if fork_available() else [1]
+    if len(job_counts) == 1:
+        print("note: fork unavailable, pooled runs skipped", file=sys.stderr)
+
+    ok = True
+    for jobs in job_counts:
+        fused_points = sweep(
+            runner,
+            TIMEOUTS,
+            make_spec=lambda value, cfg: tp_spec(
+                cfg, timeout=value, name=f"TP({value:g}s)"
+            ),
+            jobs=jobs,
+            fused=True,
+        )
+        classic_points = sweep(
+            runner,
+            TIMEOUTS,
+            make_spec=lambda value, cfg: tp_spec(
+                cfg, timeout=value, name=f"TP({value:g}s)"
+            ),
+            jobs=jobs,
+            fused=False,
+        )
+        ok &= check(
+            f"TP timeout sweep (jobs={jobs})",
+            sweep_table(fused_points),
+            sweep_table(classic_points),
+        )
+
+        fused_matrix = runner.run_matrix(PCAP_FAMILY, jobs=jobs, fused=True)
+        classic_matrix = runner.run_matrix(PCAP_FAMILY, jobs=jobs, fused=False)
+        ok &= check(
+            f"PCAP family matrix (jobs={jobs})",
+            matrix_table(fused_matrix),
+            matrix_table(classic_matrix),
+        )
+
+    if not ok:
+        print("fused equivalence gate FAILED", file=sys.stderr)
+        return 1
+    print("fused equivalence gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
