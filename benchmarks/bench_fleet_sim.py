@@ -1,0 +1,83 @@
+"""Device-batched fleet engine vs the per-device simulation loop.
+
+A genuine pytest-benchmark measurement of the fleet workload — a
+1000-device population, every device replaying the mozilla trace under
+PCAP — run two ways:
+
+* per device — one full ``run_global`` pass per device, the way a
+  naive fleet evaluation would loop (timed on a small sample and
+  projected linearly: the loop is independent identical runs, so
+  device count is a pure multiplier), and
+* batched — :func:`repro.sim.fleet.run_fleet`: one fused replay per
+  unique application, scattered across the device population's
+  columnar state rows.
+
+Both produce bit-identical per-device results in ``tables="sharded"``
+mode (``tests/test_fleet.py`` and the CI fleet-smoke gate enforce
+this); the benchmark exists to show why the fleet path exists at all
+and to catch regressions in its batching speedup (gated at
+:data:`repro.perf.FLEET_SPEEDUP_FLOOR` by ``repro bench``).
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.perf import FLEET_DEVICES, FLEET_LOOP_SAMPLE
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.fleet import replicate_devices, run_fleet
+from repro.workloads import build_suite
+
+from conftest import ABLATION_SCALE
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig()
+
+
+@pytest.fixture(scope="module")
+def runner(config):
+    runner = ExperimentRunner(
+        build_suite(scale=ABLATION_SCALE, applications=("mozilla",)), config
+    )
+    # Warm the filter/schedule memos so both benches measure simulation
+    # work only, not the shared cache-filtering pass.
+    runner.filtered("mozilla")
+    return runner
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return replicate_devices(("mozilla",), FLEET_DEVICES)
+
+
+def test_fleet_per_device_loop(benchmark, runner, devices):
+    sample = devices[:FLEET_LOOP_SAMPLE]
+
+    def run():
+        return [
+            runner.run_global(device.application, "PCAP")
+            for device in sample
+        ]
+
+    results = benchmark(run)
+    assert len(results) == len(sample)
+    print(
+        f"\n  per-device loop: {len(sample)} of {len(devices)} devices "
+        f"timed (linear in device count)"
+    )
+
+
+def test_fleet_batched(benchmark, runner, devices):
+    def run():
+        return run_fleet(runner, devices, ("PCAP",))
+
+    result = benchmark(run)
+    lane = result.lane("PCAP")
+    assert lane.devices == FLEET_DEVICES
+    # The batched fleet must agree with the loop device for device.
+    solo = runner.run_global("mozilla", "PCAP")
+    first = lane.device_result(0)
+    assert first.ledger == solo.ledger
+    assert first.stats == solo.stats
+    print(f"\n  batched fleet: {FLEET_DEVICES} devices, one fused pass")

@@ -13,6 +13,7 @@
     python -m repro import-strace trace.txt --app myapp [--predictor PCAP]
     python -m repro inspect traces.jsonl
     python -m repro run --predictor PCAP --resume sweep.ckpt
+    python -m repro fleet --devices 1000 --predictor PCAP --predictor Base
     python -m repro faults [--plan SPEC]
 
 Everything prints plain text; ``--chart`` switches the figure commands
@@ -25,6 +26,14 @@ interrupted run re-executes only unfinished cells.  ``repro faults``
 replays a fault plan (default: the canned chaos scenario) against a
 small suite and verifies the run survives it; any command accepts a
 plan via ``$REPRO_FAULT_PLAN`` or ``--fault-plan`` where offered.
+
+``repro fleet`` simulates a device *population* — N devices round-robin
+over the chosen applications — through the device-batched columnar
+fleet engine (:mod:`repro.sim.fleet`): one fused replay per
+application scattered across the device rows, fleet-total energy and
+per-percentile slowdown, optional per-device breakdown.  Output is
+deterministic for a fixed population and scale (CI diffs serial
+against ``--jobs 2``).
 
 ``repro trace pack`` converts traces (generated workloads or JSONL
 files, including ``import-strace`` output) into the on-disk columnar
@@ -483,6 +492,62 @@ def _cmd_run(args) -> int:
     return 0 if report.complete else 1
 
 
+def _cmd_fleet(args) -> int:
+    from repro.sim.fleet import replicate_devices, run_fleet
+    from repro.sim.resilience import ResiliencePolicy
+
+    predictors = args.predictor or ["PCAP"]
+    apps = tuple(args.app) if args.app else APPLICATIONS
+    runner = _runner(args, applications=apps)
+    if args.progress:
+        runner.progress = stderr_progress
+    devices = replicate_devices(apps, args.devices)
+    policy = ResiliencePolicy(
+        max_attempts=args.retries + 1,
+        cell_timeout=args.cell_timeout,
+    )
+    checkpoint = args.resume or args.checkpoint
+    percentiles = tuple(
+        float(part) for part in args.percentiles.split(",") if part.strip()
+    )
+    result = run_fleet(
+        runner,
+        devices,
+        predictors,
+        tables=args.tables,
+        jobs=runner.jobs,
+        progress=runner.progress,
+        resilience=policy,
+        checkpoint=checkpoint,
+    )
+    workload = (
+        f"store {args.store}" if args.store else f"scale {args.scale}"
+    )
+    print(f"fleet run: {len(devices)} device(s) over {len(apps)} "
+          f"application(s), {len(predictors)} predictor lane(s), "
+          f"{args.tables} tables, {workload}")
+    print(result.render(percentiles))
+    if args.per_device:
+        print()
+        lane = result.lanes[predictors[0]]
+        shown = min(args.per_device, lane.devices)
+        print(f"  first {shown} device(s), lane {predictors[0]}:")
+        for index in range(shown):
+            device = devices[index]
+            item = lane.device_result(index)
+            delay = (
+                item.delay_seconds / item.total_disk_accesses
+                if item.total_disk_accesses else 0.0
+            )
+            print(f"  {device.device_id:<12s} {device.application:<12s} "
+                  f"{item.energy:>10.1f} J {delay * 1e3:>8.3f} ms "
+                  f"{item.shutdowns:>5d} shutdowns")
+    if checkpoint:
+        resumed = result.ledger.resumed if result.ledger is not None else 0
+        print(f"checkpoint: {checkpoint} ({resumed} cell(s) resumed)")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     """Replay a fault plan against a small suite and verify survival."""
     import tempfile
@@ -793,6 +858,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "--no-fused forces the per-cell path")
     add_scale(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a device fleet with the batched columnar engine",
+    )
+    p.add_argument("--devices", type=int, default=100, metavar="N",
+                   help="fleet size; devices are assigned round-robin "
+                        "over the applications (default 100)")
+    p.add_argument("--predictor", action="append", choices=KNOWN_PREDICTORS,
+                   metavar="NAME",
+                   help="predictor lane (repeatable; default: PCAP)")
+    p.add_argument("--app", action="append", choices=APPLICATIONS,
+                   help="application subset (repeatable; default: all)")
+    p.add_argument("--tables", choices=("sharded", "shared"),
+                   default="sharded",
+                   help="prediction-table scope: per-application shards "
+                        "(devices independent, bit-identical to "
+                        "standalone runs) or one fleet-wide table set")
+    p.add_argument("--percentiles", default="50,90,99", metavar="P,P,...",
+                   help="slowdown percentiles to report (default "
+                        "50,90,99)")
+    p.add_argument("--per-device", type=int, default=0, metavar="N",
+                   help="also print the first N per-device breakdowns")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per cell after the first attempt "
+                        "(default 2)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SEC",
+                   help="per-cell wall-clock timeout (default: none)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="journal completed cells to FILE")
+    p.add_argument("--resume", metavar="FILE",
+                   help="resume from FILE: skip cells already journalled "
+                        "there, keep journalling new ones")
+    add_scale(p)
+    p.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser(
         "faults",

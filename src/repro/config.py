@@ -18,18 +18,31 @@ def default_jobs() -> int:
     """Default worker count for parallel experiment execution.
 
     Read from the ``REPRO_JOBS`` environment variable: a positive
-    integer is used as-is, ``0`` (or any negative value) means "one
-    worker per CPU core", and an unset or unparseable value means serial
-    execution (one worker).
+    integer is used as-is, ``0`` means "one worker per CPU core", and an
+    unset (or empty / whitespace-only) variable means serial execution
+    (one worker).  Anything else — a non-integer, a negative count —
+    raises :class:`~repro.errors.ConfigurationError` instead of silently
+    falling back to a surprising default.
     """
     raw = os.environ.get(JOBS_ENV_VAR)
     if raw is None:
         return 1
-    try:
-        value = int(raw)
-    except ValueError:
+    text = raw.strip()
+    if not text:
         return 1
-    if value <= 0:
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOBS_ENV_VAR}={raw!r} is not a worker count; use a "
+            "positive integer, or 0 for one worker per CPU core"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"{JOBS_ENV_VAR}={raw!r} is negative; use a positive "
+            "integer, or 0 for one worker per CPU core"
+        )
+    if value == 0:
         return os.cpu_count() or 1
     return value
 
@@ -39,17 +52,35 @@ def default_jobs() -> int:
 FUSED_ENV_VAR = "REPRO_FUSED"
 
 
+#: Spellings :func:`default_fused` accepts (case-insensitive).
+_FUSED_TRUE = ("1", "true", "yes", "on")
+_FUSED_FALSE = ("0", "false", "no", "off")
+
+
 def default_fused() -> bool:
     """Whether fused execution is enabled by default.
 
     Read from the ``REPRO_FUSED`` environment variable; ``1``/``true``/
-    ``yes``/``on`` (case-insensitive) enable it, anything else — or an
-    unset variable — leaves the classic per-cell path as the default.
+    ``yes``/``on`` (case-insensitive) enable it, ``0``/``false``/``no``/
+    ``off`` disable it, and an unset (or empty) variable leaves the
+    classic per-cell path as the default.  Any other value raises
+    :class:`~repro.errors.ConfigurationError` — a typo like
+    ``REPRO_FUSED=ture`` must not silently disable the kernel.
     """
     raw = os.environ.get(FUSED_ENV_VAR)
     if raw is None:
         return False
-    return raw.strip().lower() in ("1", "true", "yes", "on")
+    text = raw.strip().lower()
+    if not text:
+        return False
+    if text in _FUSED_TRUE:
+        return True
+    if text in _FUSED_FALSE:
+        return False
+    raise ConfigurationError(
+        f"{FUSED_ENV_VAR}={raw!r} is not a boolean; use one of "
+        f"{'/'.join(_FUSED_TRUE)} or {'/'.join(_FUSED_FALSE)}"
+    )
 
 
 def resolve_fused(fused: "bool | None" = None) -> bool:

@@ -50,6 +50,12 @@ class ExecutionError(ReproError):
     cell failures, a broken worker pool, ...)."""
 
 
+class CheckpointError(ExecutionError):
+    """A checkpoint journal cannot be resumed — it was written by a run
+    with incompatible provenance (different fused flag, variant set, or
+    execution mode) and serving its entries would mix result shapes."""
+
+
 class CellTimeoutError(ExecutionError):
     """One experiment cell exceeded its wall-clock timeout."""
 

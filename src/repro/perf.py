@@ -47,6 +47,22 @@ FULL_SCALE = 1.0
 #: under the regular tolerance band.
 FUSED_SPEEDUP_FLOOR = 3.0
 
+#: Minimum batched-fleet-over-per-device-loop speedup the gate demands
+#: at :data:`FLEET_DEVICES` devices.  Like the fused floor it is a
+#: within-report ratio of best rounds; the per-device loop is measured
+#: on a :data:`FLEET_LOOP_SAMPLE`-device sample and projected linearly
+#: (exact, because the loop is independent identical runs — device
+#: count is a pure multiplier on its work).
+FLEET_SPEEDUP_FLOOR = 5.0
+
+#: Fleet size of the ``fleet_sim`` benchmark.
+FLEET_DEVICES = 1000
+
+#: Devices actually timed in the per-device reference loop; timing all
+#: :data:`FLEET_DEVICES` would spend minutes proving a linear scaling
+#: the loop has by construction.
+FLEET_LOOP_SAMPLE = 8
+
 
 @dataclass(slots=True)
 class BenchResult:
@@ -235,6 +251,43 @@ def run_benchmarks(
         items=lanes * variant_count,
     )
 
+    # The fleet pair: a 1000-device single-application fleet through the
+    # device-batched engine (one fused replay scattered across the
+    # device rows) vs the naive per-device Python loop (one run_global
+    # per device, timed on a small sample and projected linearly by
+    # fleet_speedup()).  Same prewarmed runner for both, so the ratio
+    # isolates the batching; the fleet's bit-identity to the loop is
+    # CI's fleet-smoke step, not this benchmark's concern.
+    from repro.sim.fleet import replicate_devices, run_fleet
+
+    fleet_devices = replicate_devices(("mozilla",), FLEET_DEVICES)
+    sample_devices = fleet_devices[:FLEET_LOOP_SAMPLE]
+
+    def bench_fleet() -> None:
+        run_fleet(runner, fleet_devices, ("PCAP",))
+
+    mean_s, best_s = _measure(bench_fleet, rounds=sweep_rounds)
+    report.results["fleet_sim"] = BenchResult(
+        name="fleet_sim",
+        mean_s=mean_s,
+        best_s=best_s,
+        rounds=sweep_rounds,
+        items=FLEET_DEVICES,
+    )
+
+    def bench_fleet_loop() -> None:
+        for device in sample_devices:
+            runner.run_global(device.application, "PCAP")
+
+    mean_s, best_s = _measure(bench_fleet_loop, rounds=sweep_rounds)
+    report.results["fleet_per_device_loop"] = BenchResult(
+        name="fleet_per_device_loop",
+        mean_s=mean_s,
+        best_s=best_s,
+        rounds=sweep_rounds,
+        items=FLEET_LOOP_SAMPLE,
+    )
+
     cold_s, warm_s = _artifact_cache_times(scale, cache_dir)
     report.results["artifact_cache_warm"] = BenchResult(
         name="artifact_cache_warm",
@@ -328,6 +381,28 @@ def fused_speedup(report: PerfReport) -> Optional[float]:
     return per_cell.best_s / fused.best_s
 
 
+def fleet_speedup(report: PerfReport) -> Optional[float]:
+    """Best-round batched-fleet speedup over the per-device loop, or
+    ``None`` when the report lacks either entry (e.g. an old baseline).
+
+    The loop entry covers ``items`` sampled devices; its cost at the
+    fleet entry's device count is the linear projection
+    ``best_s / items × fleet_items`` (exact — the loop is independent
+    identical runs).
+    """
+    fleet = report.results.get("fleet_sim")
+    loop = report.results.get("fleet_per_device_loop")
+    if (
+        fleet is None
+        or loop is None
+        or fleet.best_s <= 0
+        or loop.items <= 0
+    ):
+        return None
+    projected_loop_s = loop.best_s / loop.items * fleet.items
+    return projected_loop_s / fleet.best_s
+
+
 #: Benchmarks whose throughput the regression gate enforces.  The
 #: artifact-cache timings are single-shot and I/O-bound — reported for
 #: humans, not gated.
@@ -336,6 +411,7 @@ GATED_BENCHMARKS = (
     "global_simulation",
     "sweep_per_cell",
     "fused_sweep",
+    "fleet_sim",
 )
 
 
@@ -355,7 +431,10 @@ def compare_reports(
     claim is gated directly: the *current* report's fused-over-per-cell
     best-round ratio must stay at or above
     :data:`FUSED_SPEEDUP_FLOOR` (a within-report ratio, immune to the
-    runner being faster or slower than the baseline machine).
+    runner being faster or slower than the baseline machine).  The
+    fleet engine's batching claim is gated the same way: the
+    fleet-over-per-device-loop ratio (:func:`fleet_speedup`) must stay
+    at or above :data:`FLEET_SPEEDUP_FLOOR`.
     """
     if current.mode != baseline.mode or current.scale != baseline.scale:
         raise ValueError(
@@ -383,6 +462,15 @@ def compare_reports(
                 name="fused_speedup_floor",
                 baseline_ops=FUSED_SPEEDUP_FLOOR,
                 current_ops=speedup,
+            )
+        )
+    batched = fleet_speedup(current)
+    if batched is not None and batched < FLEET_SPEEDUP_FLOOR:
+        regressions.append(
+            Regression(
+                name="fleet_speedup_floor",
+                baseline_ops=FLEET_SPEEDUP_FLOOR,
+                current_ops=batched,
             )
         )
     return regressions
@@ -416,6 +504,14 @@ def render_report(
         lines.append(
             f"  fused sweep speedup: {speedup:.2f}x over per-cell "
             f"(gate floor {FUSED_SPEEDUP_FLOOR:.1f}x)"
+        )
+    batched = fleet_speedup(report)
+    if batched is not None:
+        fleet = report.results["fleet_sim"]
+        lines.append(
+            f"  fleet speedup at {fleet.items} devices: {batched:.1f}x "
+            f"over the per-device loop "
+            f"(gate floor {FLEET_SPEEDUP_FLOOR:.1f}x)"
         )
     return "\n".join(lines)
 
@@ -455,5 +551,14 @@ def render_markdown_delta(
         lines.append(
             f"Fused sweep speedup: **{speedup:.2f}x** over per-cell "
             f"(gate floor {FUSED_SPEEDUP_FLOOR:.1f}x)."
+        )
+    batched = fleet_speedup(current)
+    if batched is not None:
+        fleet = current.results["fleet_sim"]
+        lines.append("")
+        lines.append(
+            f"Fleet speedup at {fleet.items} devices: **{batched:.1f}x** "
+            f"over the per-device loop "
+            f"(gate floor {FLEET_SPEEDUP_FLOOR:.1f}x)."
         )
     return "\n".join(lines) + "\n"

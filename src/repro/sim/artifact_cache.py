@@ -391,6 +391,41 @@ def fused_key(
     )
 
 
+def fleet_fingerprint(
+    device_fingerprints: tuple[str, ...] | list[str],
+    labels: tuple[str, ...] | list[str],
+    config: "SimulationConfig",
+) -> str:
+    """Digest identifying one fleet run.
+
+    Built from the *ordered* per-device trace fingerprints crossed with
+    the variant-set fingerprint: device order matters because the
+    shared-table mode replays applications in first-seen device order
+    (a reordered fleet evolves its shared tables differently), and the
+    variant set pins down the predictor lanes exactly as fused keys do.
+    """
+    return _digest(
+        "fleet",
+        SCHEMA_VERSION,
+        tuple(device_fingerprints),
+        variant_set_fingerprint(labels, config),
+    )
+
+
+def fleet_key(
+    fingerprint: str,
+    tables: str,
+) -> str:
+    """Cache key of one fleet evaluation's shared replay artifact.
+
+    ``fingerprint`` is :func:`fleet_fingerprint` (already covering the
+    device population, lane list, and configuration); ``tables`` is the
+    prediction-table mode, which changes the replay semantics without
+    changing any input the fingerprint sees.
+    """
+    return _digest("fleet-run", SCHEMA_VERSION, fingerprint, tables)
+
+
 def generated_suite_fingerprints(
     scale: float, applications: tuple[str, ...] | list[str]
 ) -> dict[str, str]:

@@ -929,6 +929,7 @@ def run_fused_cells(
         from repro.sim.resilience import cell_key, run_cells
 
         keys = None
+        provenance = None
         if checkpoint is not None:
             fingerprint = variant_set_fingerprint(label_tuple, config)
             keys = [
@@ -937,6 +938,14 @@ def run_fused_cells(
                 )
                 for app in apps
             ]
+            # Fused cells span the whole variant set, so a journal is
+            # only resumable by a run over the identical lane list.
+            provenance = {
+                "fused": True,
+                "mode": "global",
+                "multistate": False,
+                "variant_set": fingerprint,
+            }
         ledger = run_cells(
             cells,
             run_cell,
@@ -945,6 +954,7 @@ def run_fused_cells(
             progress=progress,
             checkpoint=checkpoint,
             cell_keys=keys,
+            provenance=provenance,
         )
         results = ledger.results
     else:

@@ -472,6 +472,12 @@ class ParallelExperimentRunner(ExperimentRunner):
             progress=self.progress,
             checkpoint=checkpoint,
             cell_keys=keys,
+            # Classic cells are keyed per predictor, so the variant set
+            # is free to differ between resumes; only the run *shape*
+            # (per-cell vs fused, mode, multistate) must match.
+            provenance={
+                "fused": False, "mode": mode, "multistate": bool(multistate)
+            },
         )
         matrix: dict[str, dict[str, ApplicationResult]] = {}
         for item in ledger.results:
@@ -570,3 +576,60 @@ class ParallelExperimentRunner(ExperimentRunner):
             if predictor in row
         }
         return SuiteReport(results=results, ledger=report.ledger)
+
+    def run_fleet(
+        self,
+        devices,
+        predictors=("PCAP",),
+        *,
+        tables: str = "sharded",
+        jobs: Optional[int] = None,
+        policy=None,
+        checkpoint=None,
+        use_cache: bool = True,
+    ):
+        """Simulate a device fleet (:func:`repro.sim.fleet.run_fleet`)
+        under this runner's worker pool and progress hook."""
+        from repro.sim.fleet import run_fleet
+
+        return run_fleet(
+            self,
+            devices,
+            predictors,
+            tables=tables,
+            jobs=self.jobs if jobs is None else jobs,
+            progress=self.progress,
+            resilience=policy,
+            checkpoint=checkpoint,
+            use_cache=use_cache,
+        )
+
+    def fleet_sweep(
+        self,
+        devices,
+        values,
+        *,
+        predictor: str = "TP",
+        make_spec_fn=None,
+        tables: str = "sharded",
+        jobs: Optional[int] = None,
+        policy=None,
+        checkpoint=None,
+    ):
+        """Sweep a predictor knob across a fleet
+        (:func:`repro.sim.fleet.fleet_sweep`) under this runner's worker
+        pool and progress hook."""
+        from repro.sim.fleet import fleet_sweep
+
+        return fleet_sweep(
+            self,
+            devices,
+            values,
+            predictor=predictor,
+            make_spec_fn=make_spec_fn,
+            tables=tables,
+            jobs=self.jobs if jobs is None else jobs,
+            progress=self.progress,
+            resilience=policy,
+            checkpoint=checkpoint,
+        )

@@ -52,7 +52,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro import faults
-from repro.errors import CellTimeoutError, ExecutionError
+from repro.errors import CellTimeoutError, CheckpointError, ExecutionError
 from repro.faults import (  # noqa: F401  (re-exported public surface)
     FAULT_PLAN_ENV_VAR,
     FaultPlan,
@@ -289,20 +289,38 @@ class CellCheckpoint:
     at most the cell in flight; a torn final line (the only corruption
     an append-only file can suffer) is skipped on load and overwritten
     by the resumed run's appends.
+
+    A journal optionally opens with one ``type: "provenance"`` record
+    describing the run shape that wrote it (fused flag, variant-set
+    fingerprint, execution mode).  :meth:`declare_provenance` compares a
+    resuming run's shape against that header and refuses a mismatched
+    resume with :class:`~repro.errors.CheckpointError` — a journal of
+    fused outcomes must never be replayed into a classic run (or vice
+    versa), even if cell keys were ever to collide.  Journals written
+    before this record existed carry no header and resume as before.
     """
 
     def __init__(
-        self, path: Union[str, os.PathLike[str]], *, resume: bool = True
+        self,
+        path: Union[str, os.PathLike[str]],
+        *,
+        resume: bool = True,
+        provenance: Optional[dict] = None,
     ) -> None:
         self.path = Path(path)
         self._completed: dict[str, tuple[Any, float]] = {}
         self._stream = None
         #: Undecodable lines ignored while loading (torn tail, garbage).
         self.skipped_lines = 0
+        #: Run-shape header found on load (``None`` for legacy journals).
+        self.provenance: Optional[dict] = None
+        self._header_pending = False
         if resume and self.path.exists():
             self._load()
         #: Entries found on load (before any new records).
         self.loaded = len(self._completed)
+        if provenance is not None:
+            self.declare_provenance(provenance)
 
     def _load(self) -> None:
         with open(self.path, "r", encoding="utf-8") as stream:
@@ -312,6 +330,11 @@ class CellCheckpoint:
                     continue
                 try:
                     record = json.loads(line)
+                    if record.get("type") == "provenance":
+                        header = record.get("provenance")
+                        if isinstance(header, dict):
+                            self.provenance = header
+                        continue
                     if record.get("type") != "cell":
                         continue
                     key = str(record["key"])
@@ -323,6 +346,40 @@ class CellCheckpoint:
                     self.skipped_lines += 1
                     continue
                 self._completed[key] = (result, wall)
+
+    def declare_provenance(self, provenance: dict) -> None:
+        """Declare the resuming run's shape; refuse a mismatched journal.
+
+        Only the keys present in *both* the declared and the journalled
+        provenance are compared, so a classic per-cell run (which leaves
+        ``variant_set`` unset — its cell keys embed the predictor label
+        directly) never conflicts with another classic run over a
+        different predictor list.  Worker count is deliberately not
+        validated: results are bit-identical at any ``--jobs``, so a
+        journal may be resumed with a different pool size.
+        """
+        declared = {str(k): v for k, v in provenance.items()}
+        if self.provenance is not None:
+            mismatched = {
+                key: (self.provenance[key], declared[key])
+                for key in sorted(set(declared) & set(self.provenance))
+                if self.provenance[key] != declared[key]
+            }
+            if mismatched:
+                detail = "; ".join(
+                    f"{key}: checkpoint has {old!r}, this run has {new!r}"
+                    for key, (old, new) in mismatched.items()
+                )
+                raise CheckpointError(
+                    f"checkpoint {self.path} was written by an "
+                    f"incompatible run ({detail}); resume with a "
+                    "matching configuration or start a fresh checkpoint "
+                    "file"
+                )
+            # Same shape: keep the journal's header, nothing to rewrite.
+            return
+        self.provenance = declared
+        self._header_pending = True
 
     def __len__(self) -> int:
         return len(self._completed)
@@ -339,6 +396,13 @@ class CellCheckpoint:
         wall_time: float,
     ) -> None:
         """Journal one completed cell (atomic append + flush + fsync)."""
+        if self._header_pending:
+            self._header_pending = False
+            self._append({
+                "type": "provenance",
+                "format": CHECKPOINT_FORMAT,
+                "provenance": self.provenance,
+            })
         record = {
             "type": "cell",
             "format": CHECKPOINT_FORMAT,
@@ -351,13 +415,16 @@ class CellCheckpoint:
                 pickle.dumps(result, _PICKLE_PROTOCOL)
             ).decode("ascii"),
         }
+        self._append(record)
+        self._completed[key] = (result, wall_time)
+
+    def _append(self, record: dict) -> None:
         if self._stream is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = open(self.path, "a", encoding="utf-8")
         self._stream.write(json.dumps(record) + "\n")
         self._stream.flush()
         os.fsync(self._stream.fileno())
-        self._completed[key] = (result, wall_time)
 
     def close(self) -> None:
         """Close the journal stream (idempotent)."""
@@ -769,6 +836,7 @@ def run_cells(
         Union[CellCheckpoint, str, os.PathLike[str]]
     ] = None,
     cell_keys: Optional[Sequence[str]] = None,
+    provenance: Optional[dict] = None,
 ) -> RunLedger:
     """Execute every cell resiliently; outcomes come back in cell order.
 
@@ -778,7 +846,11 @@ def run_cells(
     under ``policy`` and terminal failures become :class:`CellFailure`
     entries instead of aborting the run.  ``checkpoint`` (a
     :class:`CellCheckpoint` or a path) with ``cell_keys`` enables
-    journalling and resume.
+    journalling and resume; ``provenance`` describes the run shape
+    (fused flag, variant-set fingerprint, mode) and makes a resume from
+    a journal written by an incompatible run fail with
+    :class:`~repro.errors.CheckpointError` instead of silently mixing
+    result shapes.
     """
     cell_list = list(cells)
     policy = policy or ResiliencePolicy()
@@ -793,6 +865,13 @@ def run_cells(
         owns_checkpoint = True
     if checkpoint is not None and keys is None:
         raise ValueError("checkpointing needs cell_keys")
+    if checkpoint is not None and provenance is not None:
+        try:
+            checkpoint.declare_provenance(provenance)
+        except CheckpointError:
+            if owns_checkpoint:
+                checkpoint.close()
+            raise
     executor = _Executor(
         cell_list, run_cell, policy, progress, checkpoint, keys
     )

@@ -228,6 +228,9 @@ def sweep(
             progress=progress,
             checkpoint=checkpoint,
             cell_keys=keys,
+            provenance={
+                "fused": False, "mode": "global", "multistate": False
+            },
         )
         raise_on_failures(ledger, "sweep")
         results = ledger.results

@@ -628,7 +628,14 @@ class TraceStore:
         return {name: self.trace(name) for name in names}
 
     def windows_for(self, start: int, stop: int) -> list[tuple[int, int]]:
-        """The row range ``[start, stop)`` cut along chunk boundaries."""
+        """The row range ``[start, stop)`` cut along chunk boundaries.
+
+        Boundary cases are exact: a range starting or ending on a chunk
+        edge never produces an empty window, and a single final row gets
+        a one-row window.  Out-of-range requests raise instead of being
+        clamped (see :meth:`decode_rows`).
+        """
+        self._check_rows(start, stop)
         windows: list[tuple[int, int]] = []
         if stop <= start:
             return windows
@@ -674,13 +681,30 @@ class TraceStore:
         """All memory-mapped columns, keyed by name."""
         return {name: self._column(name, spec) for name, spec in COLUMNS}
 
+    def _check_rows(self, start: int, stop: int) -> None:
+        """Reject row windows outside ``[0, rows)``.
+
+        NumPy slicing silently clamps an out-of-range window to the
+        array, so an off-by-one caller would read a *shorter* stream and
+        simulate on truncated data without any error.  Fail loudly
+        instead.
+        """
+        if start < 0 or stop > self.rows:
+            raise TraceStoreError(
+                f"row window [{start}, {stop}) is outside the store's "
+                f"{self.rows} row(s)"
+            )
+
     def decode_rows(self, start: int, stop: int) -> list[TraceEvent]:
         """Materialize rows ``[start, stop)`` back into event objects.
 
         The slice is the only part of the store touched; callers that
         respect the chunk grid (:meth:`windows_for`) therefore never
-        hold more than one chunk of events.
+        hold more than one chunk of events.  The window must lie inside
+        the store's row range — a silent short read is an off-by-one
+        bug, not a smaller result.
         """
+        self._check_rows(start, stop)
         cols = self.columns()
         etypes = cols["etype"][start:stop].tolist()
         times = cols["time"][start:stop].tolist()

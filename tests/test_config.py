@@ -47,3 +47,69 @@ def test_config_is_immutable():
     config = SimulationConfig()
     with pytest.raises(Exception):
         config.timeout = 5.0
+
+
+# --- environment-variable resolution (REPRO_JOBS / REPRO_FUSED) ------------
+#
+# Malformed values used to fall back silently (not-a-number meant
+# "serial", a typo like REPRO_FUSED=ture meant "classic path"), which
+# turned configuration mistakes into wrong execution strategies without
+# a word.  Both resolvers now raise ConfigurationError with the
+# offending value spelled out.
+
+
+def test_default_jobs_strict_env(monkeypatch):
+    from repro.config import JOBS_ENV_VAR, default_jobs
+
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert default_jobs() == 1
+
+    monkeypatch.setenv(JOBS_ENV_VAR, "")
+    assert default_jobs() == 1  # empty is "unset", not an error
+
+    monkeypatch.setenv(JOBS_ENV_VAR, " 4 ")
+    assert default_jobs() == 4  # surrounding whitespace tolerated
+
+    monkeypatch.setenv(JOBS_ENV_VAR, "0")
+    assert default_jobs() >= 1  # 0 = all cores (CI relies on this)
+
+    monkeypatch.setenv(JOBS_ENV_VAR, "abc")
+    with pytest.raises(ConfigurationError, match="REPRO_JOBS='abc'"):
+        default_jobs()
+
+    monkeypatch.setenv(JOBS_ENV_VAR, "2.5")
+    with pytest.raises(ConfigurationError):
+        default_jobs()
+
+    monkeypatch.setenv(JOBS_ENV_VAR, "-1")
+    with pytest.raises(ConfigurationError, match="negative"):
+        default_jobs()
+
+
+def test_default_fused_strict_env(monkeypatch):
+    from repro.config import FUSED_ENV_VAR, default_fused
+
+    monkeypatch.delenv(FUSED_ENV_VAR, raising=False)
+    assert default_fused() is False
+
+    for raw in ("1", "true", "YES", "On"):
+        monkeypatch.setenv(FUSED_ENV_VAR, raw)
+        assert default_fused() is True, raw
+
+    for raw in ("0", "false", "NO", "off", ""):
+        monkeypatch.setenv(FUSED_ENV_VAR, raw)
+        assert default_fused() is False, raw
+
+    monkeypatch.setenv(FUSED_ENV_VAR, "ture")
+    with pytest.raises(ConfigurationError, match="REPRO_FUSED='ture'"):
+        default_fused()
+
+
+def test_resolve_fused_explicit_beats_env(monkeypatch):
+    from repro.config import FUSED_ENV_VAR, resolve_fused
+
+    monkeypatch.setenv(FUSED_ENV_VAR, "garbage")
+    assert resolve_fused(True) is True  # explicit skips the environment
+    assert resolve_fused(False) is False
+    with pytest.raises(ConfigurationError):
+        resolve_fused(None)  # None defers to the (malformed) env

@@ -17,6 +17,7 @@ import time
 import pytest
 
 from repro.config import JOBS_ENV_VAR, SimulationConfig, default_jobs
+from repro.errors import ConfigurationError
 from repro.predictors.registry import tp_spec
 from repro.sim import parallel as parallel_module
 from repro.sim.experiment import ExperimentRunner
@@ -149,10 +150,13 @@ def test_resolve_jobs_env(monkeypatch):
     assert resolve_jobs(None) >= 1
 
     monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
-    assert resolve_jobs(None) == 1
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(None)
 
+    monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
     assert resolve_jobs(4) == 4  # explicit beats the environment
-    assert resolve_jobs(-2) >= 1
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert resolve_jobs(-2) >= 1  # programmatic negatives mean all cores
 
 
 def test_execute_cells_empty():

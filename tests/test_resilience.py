@@ -36,6 +36,7 @@ from repro.sim.parallel import (
     fork_available,
     stderr_progress,
 )
+from repro.errors import CheckpointError
 from repro.sim.resilience import (
     CellCheckpoint,
     CellFailure,
@@ -568,3 +569,115 @@ def test_chaos_scenario_partial_suite_bit_identical(small_suite):
             assert result == baseline[application][name]
             healthy += 1
     assert healthy == len(APPS) * len(predictors) - 1
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint provenance (fused flag / variant set / mode)
+# ---------------------------------------------------------------------------
+#
+# Fused journals store one whole variant-lane list per cell; classic
+# journals store one predictor per cell.  Resuming one with the other —
+# or a fused journal with a different lane list — used to serve entries
+# of the wrong shape silently.  A provenance header now pins the
+# journal to its writer's execution strategy.
+
+
+def test_provenance_mismatch_refuses_resume(tmp_path):
+    path = tmp_path / "prov.ckpt"
+    cells = toy_cells(2)
+    keys = [f"key-{c.index}" for c in cells]
+    run_cells(cells, toy_runner, jobs=1, checkpoint=path, cell_keys=keys,
+              provenance={"fused": True, "variant_set": "abc"})
+    with pytest.raises(CheckpointError, match="incompatible run"):
+        run_cells(cells, toy_runner, jobs=1, checkpoint=path,
+                  cell_keys=keys,
+                  provenance={"fused": False, "variant_set": "abc"})
+    with pytest.raises(CheckpointError, match="variant_set"):
+        run_cells(cells, toy_runner, jobs=1, checkpoint=path,
+                  cell_keys=keys,
+                  provenance={"fused": True, "variant_set": "other"})
+
+
+def test_provenance_match_resumes(tmp_path):
+    path = tmp_path / "prov-ok.ckpt"
+    cells = toy_cells(3)
+    keys = [f"key-{c.index}" for c in cells]
+    stamp = {"fused": True, "mode": "global", "variant_set": "abc"}
+    calls: list[int] = []
+
+    def counting(cell):
+        calls.append(cell.index)
+        return cell.index
+
+    run_cells(cells, counting, jobs=1, checkpoint=path, cell_keys=keys,
+              provenance=stamp)
+    calls.clear()
+    second = run_cells(cells, counting, jobs=1, checkpoint=path,
+                       cell_keys=keys, provenance=dict(stamp))
+    assert calls == []
+    assert second.resumed == 3
+
+
+def test_provenance_compares_only_shared_keys(tmp_path):
+    # A journal written before a new provenance key existed must stay
+    # resumable: only keys present in BOTH stamps are compared.
+    path = tmp_path / "prov-subset.ckpt"
+    cells = toy_cells(1)
+    run_cells(cells, toy_runner, jobs=1, checkpoint=path,
+              cell_keys=["k0"], provenance={"fused": False})
+    ledger = run_cells(
+        cells, toy_runner, jobs=1, checkpoint=path, cell_keys=["k0"],
+        provenance={"fused": False, "mode": "global", "multistate": False},
+    )
+    assert ledger.resumed == 1
+
+
+def test_legacy_headerless_journal_resumes(tmp_path):
+    # Journals from before the provenance header carry no stamp at all;
+    # they resume under any provenance (cell keys still guard entries).
+    path = tmp_path / "legacy.ckpt"
+    cells = toy_cells(2)
+    keys = [f"key-{c.index}" for c in cells]
+    run_cells(cells, toy_runner, jobs=1, checkpoint=path, cell_keys=keys)
+    restored = CellCheckpoint(path)
+    assert restored.provenance is None
+    ledger = run_cells(cells, toy_runner, jobs=1, checkpoint=path,
+                       cell_keys=keys,
+                       provenance={"fused": True, "variant_set": "abc"})
+    assert ledger.resumed == 2
+
+
+def test_fused_journal_refuses_classic_resume(small_suite, tmp_path):
+    # End-to-end through run_matrix_resilient: a --fused checkpoint
+    # resumed by a --no-fused run (or vice versa) fails loudly instead
+    # of mixing per-lane-list entries with per-predictor entries.
+    path = tmp_path / "fused.ckpt"
+    runner = ParallelExperimentRunner(small_suite, SimulationConfig())
+    runner.run_matrix_resilient(["TP", "Base"], applications=APPS,
+                                fused=True, checkpoint=path)
+    with pytest.raises(CheckpointError, match="incompatible run"):
+        runner.run_matrix_resilient(["TP", "Base"], applications=APPS,
+                                    fused=False, checkpoint=path)
+    # A fused resume over a *different* lane list is a different
+    # variant set — also refused.
+    with pytest.raises(CheckpointError, match="variant_set"):
+        runner.run_matrix_resilient(["TP", "PCAP"], applications=APPS,
+                                    fused=True, checkpoint=path)
+    # The matching fused resume restores every cell.
+    report = runner.run_matrix_resilient(["TP", "Base"], applications=APPS,
+                                         fused=True, checkpoint=path)
+    assert report.ledger.resumed == len(APPS)
+
+
+def test_classic_journal_allows_new_predictors(small_suite, tmp_path):
+    # The documented classic workflow — add a predictor, resume, only
+    # the new cells run — must keep working: classic provenance pins
+    # the execution shape, not the predictor list.
+    path = tmp_path / "classic.ckpt"
+    runner = ParallelExperimentRunner(small_suite, SimulationConfig())
+    runner.run_matrix_resilient(["TP"], applications=APPS,
+                                fused=False, checkpoint=path)
+    report = runner.run_matrix_resilient(["TP", "Base"], applications=APPS,
+                                         fused=False, checkpoint=path)
+    assert report.ledger.resumed == len(APPS)  # the TP cells
+    assert not report.ledger.failures

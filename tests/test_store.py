@@ -16,6 +16,7 @@ import tracemalloc
 import pytest
 
 from repro import faults
+from repro.config import SimulationConfig
 from repro.errors import TraceStoreError
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.parallel import ParallelExperimentRunner
@@ -353,3 +354,83 @@ class TestMemoryBound:
         # >10x the data, peak within 3x (chunk-window bounded; the
         # in-memory equivalent would grow with the row count).
         assert peak_big < 3 * peak_small
+
+
+class TestChunkBoundaries:
+    """Chunk-window arithmetic at the edges (tiny chunk sizes).
+
+    A `StoreBackedTrace` streams each execution through
+    `windows_for`-cut chunk windows; an off-by-one at a chunk edge
+    would drop or duplicate a row silently.  Degenerate chunk sizes
+    (1-3 rows) put every execution boundary on or next to a chunk
+    edge, so any window bug shows up as a stream diff.
+    """
+
+    def _pack(self, path, chunk_rows):
+        trace = build_application_trace(
+            application_spec("nedit"), scale=0.25
+        )
+        with StoreWriter(path, chunk_rows=chunk_rows) as writer:
+            pack_trace(trace, writer)
+        return trace, TraceStore(path)
+
+    @pytest.mark.parametrize("chunk_rows", [1, 2, 3])
+    def test_tiny_chunks_round_trip(self, tmp_path, chunk_rows):
+        trace, store = self._pack(tmp_path / f"c{chunk_rows}", chunk_rows)
+        stored = store.trace("nedit")
+        for mem, st in zip(trace, stored):
+            assert list(st.iter_events()) == mem.events
+
+    def test_windows_exactly_tile_the_range(self, tmp_path):
+        _, store = self._pack(tmp_path / "tile", 3)
+        rows = store.rows
+        assert rows > 3
+        for start, stop in [
+            (0, rows),          # whole store
+            (0, 3),             # exactly one chunk
+            (3, 6),             # chunk-aligned interior
+            (2, 4),             # straddles one edge
+            (3, 4),             # first row of a chunk
+            (2, 3),             # last row of a chunk
+            (rows - 1, rows),   # single final row
+            (5, 5),             # empty
+        ]:
+            stop = min(stop, rows)
+            windows = store.windows_for(start, stop)
+            # windows tile [start, stop) exactly: contiguous, in order,
+            # non-empty, each within one chunk.
+            if start >= stop:
+                assert windows == []
+                continue
+            assert windows[0][0] == start
+            assert windows[-1][1] == stop
+            for (_, a_end), (b_start, _) in zip(windows, windows[1:]):
+                assert a_end == b_start
+            for a, b in windows:
+                assert a < b
+                assert b - a <= store.chunk_rows
+                assert a // store.chunk_rows == (b - 1) // store.chunk_rows
+
+    def test_out_of_range_windows_raise(self, tmp_path):
+        _, store = self._pack(tmp_path / "bounds", 3)
+        rows = store.rows
+        with pytest.raises(TraceStoreError, match="outside the store"):
+            store.windows_for(0, rows + 1)
+        with pytest.raises(TraceStoreError, match="outside the store"):
+            store.windows_for(-1, rows)
+        with pytest.raises(TraceStoreError, match="outside the store"):
+            store.decode_rows(rows - 1, rows + 1)
+        with pytest.raises(TraceStoreError, match="outside the store"):
+            store.decode_rows(-2, 0)
+        # In-range decodes at the exact edges still work.
+        assert len(store.decode_rows(rows - 1, rows)) == 1
+        assert store.decode_rows(0, 0) == []
+
+    def test_simulation_identical_across_chunk_sizes(self, tmp_path):
+        """Same workload, chunk sizes 1 and 1024: bit-identical runs."""
+        results = []
+        for chunk_rows in (1, 1024):
+            _, store = self._pack(tmp_path / f"sim{chunk_rows}", chunk_rows)
+            runner = ExperimentRunner(store.suite(), SimulationConfig())
+            results.append(runner.run_global("nedit", "PCAP"))
+        assert results[0] == results[1]

@@ -110,3 +110,47 @@ def test_render_sweep(runner):
     text = render_sweep(points, "TP timeout sweep")
     assert "TP timeout sweep" in text
     assert "5.0" in text
+
+
+# ---------------------------------------------------------------------------
+# Duplicate / shadowed lane names (fused vs classic parity)
+# ---------------------------------------------------------------------------
+#
+# Lanes and cells are positional, so duplicate swept values (and
+# duplicate predictor names in a matrix) must fold identically on the
+# fused and classic paths — and the variant-set fingerprint must tell
+# apart orderings and duplicates, because a fused checkpoint entry
+# covers the whole positional lane list.
+
+
+def test_sweep_duplicate_values_fused_matches_classic(runner):
+    make = lambda t, cfg: tp_spec(cfg, timeout=t)  # noqa: E731
+    values = [2.0, 30.0, 2.0]  # the duplicate is a real, separate point
+    classic = sweep(runner, values, make_spec=make, fused=False)
+    fused = sweep(runner, values, make_spec=make, fused=True)
+    assert classic == fused
+    assert len(classic) == 3
+    assert classic[0] == classic[2]  # same knob value, same point
+
+
+def test_matrix_duplicate_predictor_names_fused_matches_classic():
+    from repro.sim.parallel import ParallelExperimentRunner
+    from repro.workloads import build_suite
+
+    suite = build_suite(scale=0.2, applications=("mozilla",))
+    runner = ParallelExperimentRunner(suite, SimulationConfig())
+    names = ["TP", "Base", "TP"]  # shadowed: the dict row keeps one TP
+    classic = runner.run_matrix(names, fused=False)
+    fused = runner.run_matrix(names, fused=True)
+    assert classic == fused
+    assert set(classic["mozilla"]) == {"TP", "Base"}  # last-wins collapse
+
+
+def test_variant_set_fingerprint_is_positional():
+    from repro.sim.artifact_cache import variant_set_fingerprint
+
+    config = SimulationConfig()
+    ab = variant_set_fingerprint(("TP", "Base"), config)
+    ba = variant_set_fingerprint(("Base", "TP"), config)
+    dup = variant_set_fingerprint(("TP", "Base", "TP"), config)
+    assert len({ab, ba, dup}) == 3  # order and multiplicity both count
