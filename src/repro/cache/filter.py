@@ -143,6 +143,98 @@ def _flush_records_to_accesses(writebacks: list[WriteBack]) -> list[DiskAccess]:
     return [DiskAccess(**record) for record in coalesce_writebacks(writebacks)]
 
 
+def _filter_store_columns(
+    execution: Any,
+    cache: PageCache,
+    accesses: list[DiskAccess],
+    *,
+    flush_on_exit: bool,
+) -> None:
+    """Replay a store-backed execution straight off its column chunks.
+
+    Zero-copy fast path for :class:`~repro.traces.store.StoredExecution`:
+    the memmapped column slices from ``iter_column_chunks`` are consumed
+    directly, so no :class:`~repro.traces.events.IOEvent` objects are
+    ever materialized.  Every cache call is made with the exact same
+    arguments, in the exact same order, as the event-object loop in
+    :func:`filter_execution` — the two paths are row-for-row identical.
+    """
+    append = accesses.append
+    extend = accesses.extend
+    advance = cache.advance
+    cache_read = cache.read
+    cache_write = cache.write
+    by_code = tuple(AccessType)
+    read_code = AccessType.READ
+    open_code = AccessType.OPEN
+    write_code = AccessType.WRITE
+    sync_code = AccessType.SYNC_WRITE
+    for chunk in execution.iter_column_chunks():
+        etypes = chunk["etype"].tolist()
+        times = chunk["time"].tolist()
+        pids = chunk["pid"].tolist()
+        pcs = chunk["pc"].tolist()
+        fds = chunk["fd"].tolist()
+        kinds = chunk["kind"].tolist()
+        inodes = chunk["inode"].tolist()
+        block_starts = chunk["block_start"].tolist()
+        block_counts = chunk["block_count"].tolist()
+        for i in range(len(etypes)):
+            if etypes[i] != 0:
+                continue  # fork/exit rows generate no disk traffic
+            time = times[i]
+            daemon_writebacks = advance(time)
+            if daemon_writebacks:
+                extend(_flush_records_to_accesses(daemon_writebacks))
+            kind = by_code[kinds[i]]
+            inode = inodes[i]
+            pc = pcs[i]
+            block_start = block_starts[i]
+            block_count = block_counts[i]
+            blocks = range(block_start, block_start + block_count)
+            if kind is read_code or kind is open_code:
+                missed, forced = cache_read(time, inode, blocks, pc=pc)
+                if forced:
+                    extend(_flush_records_to_accesses(forced))
+                if missed:
+                    append(
+                        DiskAccess(
+                            time=time,
+                            pid=pids[i],
+                            pc=pc,
+                            fd=fds[i],
+                            kind=kind,
+                            inode=inode,
+                            block_count=len(missed),
+                        )
+                    )
+            elif kind is write_code:
+                forced = cache_write(time, inode, blocks, pids[i], pc=pc)
+                if forced:
+                    extend(_flush_records_to_accesses(forced))
+            elif kind is sync_code:
+                # Write-through: straight to disk, cached clean.
+                missed, forced = cache_read(time, inode, blocks, pc=pc)
+                if forced:
+                    extend(_flush_records_to_accesses(forced))
+                append(
+                    DiskAccess(
+                        time=time,
+                        pid=pids[i],
+                        pc=pc,
+                        fd=fds[i],
+                        kind=kind,
+                        inode=inode,
+                        block_count=max(1, block_count),
+                    )
+                )
+            # CLOSE (and blockless events) generate no disk traffic.
+    if flush_on_exit and execution.event_count > 0:
+        final = cache.flush_now(execution.end_time)
+        if final:
+            extend(_flush_records_to_accesses(final))
+
+
 def filter_execution(
     execution: ExecutionLike,
     config: Optional[CacheConfig] = None,
@@ -167,10 +259,20 @@ def filter_execution(
         application=execution.application,
         execution_index=execution.execution_index,
     )
+    accesses = result.accesses
+    # Store-backed executions expose their rows as memmapped column
+    # chunks; replaying those directly skips event-object decoding
+    # entirely while making bitwise-identical cache calls.
+    if getattr(execution, "iter_column_chunks", None) is not None:
+        _filter_store_columns(
+            execution, cache, accesses, flush_on_exit=flush_on_exit
+        )
+        accesses.sort(key=lambda access: access.time)
+        result.cache_stats = cache.stats
+        return result
     # Hot loop: bound methods and the accesses list are bound to locals,
     # and the (overwhelmingly common) empty write-back batches skip the
     # coalescing machinery entirely.
-    accesses = result.accesses
     append = accesses.append
     extend = accesses.extend
     advance = cache.advance

@@ -385,7 +385,11 @@ def _cmd_bench(args) -> int:
         run_benchmarks,
     )
 
-    report = run_benchmarks(quick=args.quick)
+    try:
+        report = run_benchmarks(quick=args.quick, only=args.only)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     baseline = None
     if args.baseline and not args.update_baseline:
         try:
@@ -406,8 +410,30 @@ def _cmd_bench(args) -> int:
             stream.write(report.to_json())
         print(f"wrote {args.out}")
     if args.update_baseline:
+        written = report
+        if args.only:
+            # Partial run: merge the measured entries into the existing
+            # baseline instead of discarding its other entries.
+            try:
+                with open(args.baseline, "r", encoding="utf-8") as stream:
+                    existing = PerfReport.from_json(stream.read())
+            except FileNotFoundError:
+                existing = None
+            if existing is not None:
+                if (existing.mode, existing.scale) != (
+                    report.mode, report.scale,
+                ):
+                    print(
+                        f"error: cannot merge a {report.mode}@"
+                        f"{report.scale} run into the {existing.mode}@"
+                        f"{existing.scale} baseline {args.baseline}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                existing.results.update(report.results)
+                written = existing
         with open(args.baseline, "w", encoding="utf-8") as stream:
-            stream.write(report.to_json())
+            stream.write(written.to_json())
         print(f"updated baseline {args.baseline}")
         return 0
     if baseline is None:
@@ -926,7 +952,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 0.30)")
     p.add_argument("--update-baseline", action="store_true",
                    help="write this run's report as the new baseline "
-                        "instead of gating")
+                        "instead of gating (with --only, merges the "
+                        "measured entries into the existing baseline)")
+    p.add_argument("--only", action="append", metavar="NAME",
+                   help="measure only the named benchmark entry "
+                        "(repeatable; the gate skips absent entries)")
     p.set_defaults(fn=_cmd_bench)
 
     return parser

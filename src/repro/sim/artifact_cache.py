@@ -360,6 +360,23 @@ def filter_key(
     )
 
 
+def tape_key(
+    fingerprint: str, execution_index: int, config: "SimulationConfig"
+) -> str:
+    """Cache key of one execution's predictor-independent replay tape.
+
+    Keyed on the trace fingerprint × execution × the *full* simulation
+    configuration: the columnar tape bakes in gap boundaries, idle
+    energies, feedback classes, and the busy-energy sum, which depend
+    on the disk parameters, service times, cache geometry (through the
+    filtered stream) and the breakeven/wait-window thresholds alike —
+    ``repr(config)`` covers them all, like the variant-set digest.
+    """
+    return _digest(
+        "tape", SCHEMA_VERSION, fingerprint, execution_index, repr(config)
+    )
+
+
 def variant_set_fingerprint(
     labels: tuple[str, ...] | list[str], config: "SimulationConfig"
 ) -> str:

@@ -9,24 +9,40 @@ pass per application:
 
 1. :func:`repro.sim.engine.build_replay_tape` walks each execution's
    merged schedule **once**, producing the predictor-independent replay
-   skeleton (gap boundaries, busy intervals, prebuilt per-process idle
-   feedback, liveness, try-points, the shared busy-energy sum).  The
-   tape exists because requests never stretch the timeline — spin-up
-   latency is energy-only — so the busy/gap structure is identical
-   under every predictor.
+   skeleton (gap boundaries, busy intervals, per-process idle feedback,
+   liveness, try-points, the shared busy-energy sum) as a
+   :class:`~repro.sim.columnar.ColumnarTape` of parallel NumPy columns.
+   The tape exists because requests never stretch the timeline —
+   spin-up latency is energy-only — so the busy/gap structure is
+   identical under every predictor.  Tapes are cached in the artifact
+   cache keyed on (execution fingerprint × configuration), so warm
+   sweeps and fleets skip tape construction entirely.
 2. A per-variant *lane* replays the tape with only the per-predictor
    state: predictor instances and standing intents, the pending
    shutdown, prediction stats, and gap energy.  Three lane kinds:
 
    * a **generic local lane** mirroring
      :class:`~repro.core.global_predictor.GlobalShutdownPredictor` +
-     engine + disk accounting expression for expression;
+     engine + disk accounting expression for expression; it iterates
+     the tape's prebuilt per-step views, with runs of consecutive
+     no-gap (``TAPE_SIMPLE``) steps grouped so the dispatch runs once
+     per run;
    * a **constant-intent lane** for timeout predictors
      (``PredictorSpec.constant_intent_delay``), which needs no
      per-process state at all: the global ready time is
      ``anchor_max + delay`` (IEEE-754 addition is monotonic, so this is
-     bit-identical to maximizing per-slot ready times);
-   * an **omniscient lane** for Base/Ideal gap policies.
+     bit-identical to maximizing per-slot ready times).  This lane is a
+     whole-tape **array program**: fired/hit/irritation classification
+     are elementwise masks and the energy buckets are sequential
+     (``np.add.accumulate``) reductions in the scalar loop's exact
+     accumulation order;
+   * an **omniscient lane** for Base/Ideal gap policies — also an
+     array program whenever the policy vectorizes its per-gap decision
+     (:meth:`~repro.predictors.base.OmniscientPolicy.shutdown_offsets`),
+     falling back to the scalar loop lane otherwise.
+
+   The scalar loop lanes survive alongside the array programs (the
+   fused-equivalence tool byte-diffs the two per predictor).
 
 **Bit-identity contract (DESIGN §10):** every lane reproduces the
 classic path's results bit for bit — same boundary predicates, same
@@ -49,19 +65,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
 from repro.disk.energy import EnergyBreakdown, sum_breakdowns
 from repro.errors import SimulationError
 from repro.predictors.base import PredictorSource
 from repro.predictors.registry import PredictorSpec
 from repro.config import SimulationConfig
-from repro.sim.engine import (
-    ExecutionRunResult,
-    ReplayTape,
+from repro.sim.columnar import (
+    ColumnarTape,
     TAPE_FORK,
     TAPE_GAP,
     TAPE_SIMPLE,
-    build_replay_tape,
 )
+from repro.sim.engine import ExecutionRunResult, build_replay_tape
 from repro.sim.experiment import ApplicationResult, ExperimentRunner
 from repro.sim.metrics import PredictionStats
 from repro.sim.parallel import ExperimentCell, ProgressHook, execute_cells
@@ -69,6 +86,9 @@ from repro.units import EPSILON
 
 _EPS = EPSILON
 _PRIMARY = PredictorSource.PRIMARY
+
+#: Alias used throughout the lane signatures.
+ReplayTape = ColumnarTape
 
 
 @dataclass(slots=True)
@@ -97,15 +117,140 @@ def fused_supported(
     return not multistate and not runner.tracing
 
 
+#: Tape length below which the constant-intent/omniscient lanes take
+#: the scalar loops even in auto mode: the array programs carry a fixed
+#: per-replay NumPy dispatch cost, and on short executions the plain
+#: loop finishes before that overhead is paid back.  Results are
+#: bit-identical either way (DESIGN §10), so this is purely a
+#: performance knob; 256 is the measured crossover of the constant
+#: lane on this codebase's reference hardware.
+VECTOR_MIN_STEPS = 256
+
+
 def replay_execution(
-    tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
+    tape: ReplayTape,
+    spec: PredictorSpec,
+    config: SimulationConfig,
+    *,
+    vectorized: Optional[bool] = None,
 ) -> ExecutionRunResult:
-    """Replay one execution's shared tape under one predictor spec."""
+    """Replay one execution's shared tape under one predictor spec.
+
+    ``vectorized`` picks the implementation of the constant-intent and
+    omniscient lanes: ``True`` forces the whole-tape array programs,
+    ``False`` forces the scalar loops (the fused-equivalence tool
+    byte-diffs the two), and ``None`` — the default — chooses by tape
+    length (:data:`VECTOR_MIN_STEPS`).  The results are bit-identical
+    in every case.
+    """
+    if vectorized is None:
+        vectorized = len(tape) >= VECTOR_MIN_STEPS
     if spec.is_omniscient:
-        return _replay_omniscient(tape, spec, config)
+        if vectorized:
+            result = _replay_omniscient_vector(tape, spec, config)
+            if result is not None:
+                return result
+        return _replay_omniscient_loop(tape, spec, config)
     if spec.constant_intent_delay is not None:
-        return _replay_constant(tape, spec.constant_intent_delay, config)
+        if vectorized:
+            return _replay_constant_vector(
+                tape, spec.constant_intent_delay, config
+            )
+        return _replay_constant_loop(
+            tape, spec.constant_intent_delay, config
+        )
     return _replay_local(tape, spec, config)
+
+
+def _running_sum(values: np.ndarray) -> float:
+    """Strict left-to-right float sum (``np.add.accumulate``).
+
+    ``np.sum`` uses pairwise summation, which reassociates additions;
+    the accumulate form reproduces the scalar loops' ``+=`` order bit
+    for bit.  Zero-valued entries are exact no-ops for the non-negative
+    accumulators the lanes run (adding ±0.0 never changes the bits of a
+    non-negative float), so masked scatter streams stay bit-identical.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(np.add.accumulate(values)[-1])
+
+
+def _vector_energy(
+    tape: ReplayTape,
+    gcols: dict,
+    fired: np.ndarray,
+    shutdown_at: np.ndarray,
+    config: SimulationConfig,
+) -> tuple[float, float, float, float, float, int, int, int]:
+    """Gap-energy accounting shared by the vectorized lanes.
+
+    ``fired`` marks the gaps whose pending shutdown fired;
+    ``shutdown_at`` is the absolute fire time per gap (NaN where not
+    fired — every NaN lane is masked before accumulation).  Returns
+    ``(idle_short, idle_long, power_cycle, standby, delay_seconds,
+    shutdown_count, delayed_requests, irritating)`` with each bucket
+    accumulated in the scalar lanes' exact order: per gap, the pre-spin
+    idle amount then the standby residence, interleaved with the
+    ``TAPE_SIMPLE`` idle contributions between gaps.
+    """
+    params = config.disk
+    idle_power = params.idle_power
+    standby_power = params.standby_power
+    cycle_energy = params.cycle_energy
+    transition_time = params.transition_time
+    shutdown_time = params.shutdown_time
+    spinup_time = params.spinup_time
+    breakeven = config.breakeven
+    gp = gcols["gp"]
+    g_bu = gcols["busy_until"]
+    g_ge = gcols["gap_end"]
+    g_if = gcols["idle_full"]
+    g_long = gcols["long"]
+    n = len(tape.op)
+    with np.errstate(invalid="ignore"):
+        amount = idle_power * (shutdown_at - g_bu)
+        off_window = g_ge - shutdown_at
+        residence = standby_power * np.maximum(
+            0.0, off_window - transition_time
+        )
+        delay_term = spinup_time + np.maximum(
+            0.0, (shutdown_at + shutdown_time) - g_ge
+        )
+        irritating = int(
+            np.count_nonzero(fired & (off_window <= breakeven))
+        )
+    slot0 = np.where(fired, amount, g_if)
+    slot1 = np.where(fired, residence, 0.0)
+    short_sel = ~g_long
+    # Short-idle bucket: every step contributes in tape order — SIMPLE
+    # steps their idle_full, short gaps their (amount|idle_full, then
+    # residence) pair — so interleave two slots per step and accumulate
+    # the raveled stream left to right.
+    stream = np.zeros((n, 2), dtype=np.float64)
+    stream[:, 0] = gcols["simple_idle"]
+    stream[gp, 0] = np.where(short_sel, slot0, 0.0)
+    stream[gp, 1] = np.where(short_sel, slot1, 0.0)
+    idle_short = _running_sum(stream.ravel())
+    # Long-idle bucket: only gaps contribute, in gap order.
+    lstream = np.zeros((len(gp), 2), dtype=np.float64)
+    lstream[:, 0] = np.where(short_sel, 0.0, slot0)
+    lstream[:, 1] = np.where(short_sel, 0.0, slot1)
+    idle_long = _running_sum(lstream.ravel())
+    power_cycle = _running_sum(np.where(fired, cycle_energy, 0.0))
+    standby = _running_sum(np.where(fired, residence, 0.0))
+    delay_seconds = _running_sum(np.where(fired, delay_term, 0.0))
+    shutdowns = int(np.count_nonzero(fired))
+    return (
+        idle_short,
+        idle_long,
+        power_cycle,
+        standby,
+        delay_seconds,
+        shutdowns,
+        shutdowns,
+        irritating,
+    )
 
 
 def _finish(
@@ -141,7 +286,12 @@ def _replay_local(
     tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
 ) -> ExecutionRunResult:
     """Generic lane: full per-process predictor state, matching
-    GlobalShutdownPredictor + engine + SimulatedDisk bit for bit."""
+    GlobalShutdownPredictor + engine + SimulatedDisk bit for bit.
+
+    Iterates the tape's prebuilt step views: runs of consecutive
+    ``TAPE_SIMPLE`` steps arrive pre-grouped, so the opcode dispatch
+    runs once per run instead of once per access.
+    """
     factory = spec.local_factory
     assert factory is not None
     params = config.disk
@@ -179,30 +329,32 @@ def _replay_local(
     shutdown_count = delayed_requests = irritating = 0
     delay_seconds = 0.0
 
-    for step in tape.steps:
+    for step in tape.replay_views():
         op = step[0]
         if op == TAPE_SIMPLE:
-            _, pid, access, feedback, busy_after, register, idle_full = step
-            if register:
-                predictor = factory(pid)
-                intent = predictor.initial_intent(access.time)
+            for pid, access, feedback, busy_after, register, idle_full in (
+                step[1]
+            ):
+                if register:
+                    predictor = factory(pid)
+                    intent = predictor.initial_intent(access.time)
+                    delay = intent.delay
+                    slot = [
+                        None if delay is None else access.time + delay,
+                        intent.source,
+                        predictor.on_access,
+                        predictor.on_idle_end,
+                    ]
+                    slots[pid] = slot
+                else:
+                    slot = slots[pid]
+                if feedback is not None:
+                    slot[3](feedback)
+                intent = slot[2](access)
                 delay = intent.delay
-                slot = [
-                    None if delay is None else access.time + delay,
-                    intent.source,
-                    predictor.on_access,
-                    predictor.on_idle_end,
-                ]
-                slots[pid] = slot
-            else:
-                slot = slots[pid]
-            if feedback is not None:
-                slot[3](feedback)
-            intent = slot[2](access)
-            delay = intent.delay
-            slot[0] = None if delay is None else busy_after + delay
-            slot[1] = intent.source
-            idle_short += idle_full
+                slot[0] = None if delay is None else busy_after + delay
+                slot[1] = intent.source
+                idle_short += idle_full
         elif op == TAPE_GAP:
             (_, time, can_fire, record, window_start, busy_until,
              gap_length, idle_full, long_period, gap_end, busy_after,
@@ -465,15 +617,162 @@ def _replay_local(
     )
 
 
-def _replay_constant(
+def _replay_constant_vector(
     tape: ReplayTape, delay: float, config: SimulationConfig
 ) -> ExecutionRunResult:
-    """Constant-intent (timeout) lane: no per-process state at all.
+    """Constant-intent (timeout) lane as a whole-tape array program.
 
     Every live process's standing intent is ``delay`` after its anchor
     (creation, then last access completion) with PRIMARY attribution, so
     the global decision is always ``anchor_max + delay`` — precomputed
     on the tape — and nothing a process does can block the shutdown.
+    With no per-step state left, the lane reduces to: compute every
+    try-point's ``fire_at`` elementwise, resolve each gap's pending
+    shutdown as the *first* firing try-point since the previous gap
+    (``np.minimum.reduceat`` over try-point positions), then run the
+    shared masked-reduction energy accounting.  Bit-identical to
+    :func:`_replay_constant_loop` — every expression keeps the scalar
+    shape (``max(a, b, c)`` is chained ``np.maximum``, which is
+    associativity-exact for binary max).
+    """
+    breakeven = config.breakeven
+
+    pending_at: Optional[float] = None
+    gaps = opportunities = 0
+    hits = misses = unsaved = 0
+    idle_seconds = 0.0
+    idle_short = idle_long = power_cycle = standby = 0.0
+    shutdown_count = delayed_requests = irritating = 0
+    delay_seconds = 0.0
+
+    n = len(tape.op)
+    if n:
+        gcols = tape.gap_columns()
+        gp = gcols["gp"]
+        ws = tape.window_start
+        bu = tape.busy_until
+        am = tape.anchor_max
+        with np.errstate(invalid="ignore"):
+            base = np.where(ws > bu, ws, bu)
+            cand = np.maximum(np.maximum(ws, am + delay), bu)
+            fire_at = np.where(np.isnan(am), base, cand)
+            fired_try = tape.can_fire & (fire_at < tape.times - _EPS)
+        pos = np.where(fired_try, np.arange(n, dtype=np.int64), n)
+        if len(gp):
+            limit = int(gp[-1]) + 1
+            starts = np.empty(len(gp), dtype=np.int64)
+            starts[0] = 0
+            starts[1:] = gp[:-1] + 1
+            first = np.minimum.reduceat(pos[:limit], starts)
+            has_pending = first < n
+            with np.errstate(invalid="ignore"):
+                shutdown_at = np.where(
+                    has_pending, fire_at[np.minimum(first, n - 1)], np.nan
+                )
+            (
+                idle_short, idle_long, power_cycle, standby,
+                delay_seconds, shutdown_count, delayed_requests,
+                irritating,
+            ) = _vector_energy(tape, gcols, has_pending, shutdown_at, config)
+            g_gl = gcols["gap_length"]
+            g_bu = gcols["busy_until"]
+            g_rec = gcols["record"]
+            gaps = int(np.count_nonzero(g_rec))
+            idle_seconds = _running_sum(np.where(g_rec, g_gl, 0.0))
+            opp = g_rec & (g_gl > breakeven)
+            opportunities = int(np.count_nonzero(opp))
+            with np.errstate(invalid="ignore"):
+                hit = g_gl - (shutdown_at - g_bu) > breakeven + _EPS
+            hit_mask = g_rec & has_pending & hit
+            miss_mask = g_rec & has_pending & ~hit
+            hits = int(np.count_nonzero(hit_mask))
+            misses = int(np.count_nonzero(miss_mask))
+            unsaved = int(np.count_nonzero(miss_mask & opp))
+            tail = pos[limit:]
+        else:
+            idle_short = _running_sum(gcols["simple_idle"])
+            tail = pos
+        tfirst = int(tail.min()) if len(tail) else n
+        if tfirst < n:
+            pending_at = float(fire_at[tfirst])
+
+    # Trailing gap: final try-point, stats, then the finalize ledger —
+    # the scalar epilogue verbatim.
+    params = config.disk
+    idle_power = params.idle_power
+    standby_power = params.standby_power
+    cycle_energy = params.cycle_energy
+    transition_time = params.transition_time
+    if tape.end_can_fire and pending_at is None:
+        window_start = tape.final_window_start
+        busy_until = tape.final_busy_until
+        anchor_max = tape.final_anchor_max
+        if anchor_max is None:
+            fire_at_end = (
+                window_start if window_start > busy_until else busy_until
+            )
+        else:
+            fire_at_end = max(window_start, anchor_max + delay, busy_until)
+        if fire_at_end < tape.end - _EPS:
+            pending_at = fire_at_end
+    busy_until = tape.final_busy_until
+    if tape.end_record:
+        gaps += 1
+        idle_seconds += tape.trailing
+        opportunity = tape.trailing > breakeven
+        if opportunity:
+            opportunities += 1
+        if pending_at is not None:
+            if tape.trailing - (pending_at - busy_until) > breakeven + _EPS:
+                hits += 1
+            else:
+                misses += 1
+                if opportunity:
+                    unsaved += 1
+    if pending_at is None:
+        if tape.final_long:
+            idle_long += tape.final_idle_full
+        else:
+            idle_short += tape.final_idle_full
+    else:
+        shutdown_at_end = pending_at
+        amount = idle_power * (shutdown_at_end - busy_until)
+        if tape.final_long:
+            idle_long += amount
+        else:
+            idle_short += amount
+        power_cycle += cycle_energy
+        off_window = tape.final_gap_end - shutdown_at_end
+        residence = standby_power * max(0.0, off_window - transition_time)
+        standby += residence
+        if tape.final_long:
+            idle_long += residence
+        else:
+            idle_short += residence
+        shutdown_count += 1
+
+    stats = PredictionStats(
+        gaps=gaps,
+        opportunities=opportunities,
+        hits_primary=hits,
+        misses_primary=misses,
+        unsaved_in_opportunity=unsaved,
+        idle_seconds=idle_seconds,
+    )
+    return _finish(
+        tape, config, stats,
+        (idle_short, idle_long, power_cycle, standby),
+        shutdown_count, delayed_requests, delay_seconds, irritating,
+    )
+
+
+def _replay_constant_loop(
+    tape: ReplayTape, delay: float, config: SimulationConfig
+) -> ExecutionRunResult:
+    """Constant-intent lane, scalar loop form (the vector lane's oracle).
+
+    Same decision rule as :func:`_replay_constant_vector`, replayed
+    step by step over the tape views.
     """
     params = config.disk
     idle_power = params.idle_power
@@ -492,10 +791,11 @@ def _replay_constant(
     shutdown_count = delayed_requests = irritating = 0
     delay_seconds = 0.0
 
-    for step in tape.steps:
+    for step in tape.replay_views():
         op = step[0]
         if op == TAPE_SIMPLE:
-            idle_short += step[6]
+            for item in step[1]:
+                idle_short += item[5]
         elif op == TAPE_GAP:
             (_, time, can_fire, record, window_start, busy_until,
              gap_length, idle_full, long_period, gap_end, _busy_after,
@@ -658,10 +958,136 @@ def _replay_constant(
     )
 
 
-def _replay_omniscient(
+def _replay_omniscient_vector(
+    tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
+) -> Optional[ExecutionRunResult]:
+    """Omniscient lane (Base / Ideal) as a whole-tape array program.
+
+    The policy sees gaps in isolation, so the whole lane is one
+    vectorized decision over the gap columns
+    (:meth:`~repro.predictors.base.OmniscientPolicy.shutdown_offsets`,
+    NaN encoding the scalar hook's ``None``) plus the shared energy
+    reductions.  Returns ``None`` when the policy has no vectorized
+    form — the caller falls back to :func:`_replay_omniscient_loop`.
+    The hit/miss classification uses the offset directly
+    (``gap_length - offset``), matching the scalar lane — *not*
+    ``gap_length - (shutdown_at - busy_until)``, which is a different
+    float expression.
+    """
+    policy = spec.omniscient
+    assert policy is not None
+    offsets_fn = getattr(policy, "shutdown_offsets", None)
+    if offsets_fn is None:
+        return None
+    breakeven = config.breakeven
+
+    gaps = opportunities = hits = misses = unsaved = 0
+    idle_seconds = 0.0
+    idle_short = idle_long = power_cycle = standby = 0.0
+    shutdown_count = delayed_requests = irritating = 0
+    delay_seconds = 0.0
+
+    n = len(tape.op)
+    if n:
+        gcols = tape.gap_columns()
+        gp = gcols["gp"]
+        if len(gp):
+            g_gl = gcols["gap_length"]
+            g_rec = gcols["record"]
+            offs = offsets_fn(g_gl)
+            if offs is None:
+                return None
+            offs = np.asarray(offs, dtype=np.float64)
+            with np.errstate(invalid="ignore"):
+                fired = g_rec & ~np.isnan(offs) & (offs < g_gl - _EPS)
+                shutdown_at = np.where(
+                    fired, gcols["busy_until"] + offs, np.nan
+                )
+            (
+                idle_short, idle_long, power_cycle, standby,
+                delay_seconds, shutdown_count, delayed_requests,
+                irritating,
+            ) = _vector_energy(tape, gcols, fired, shutdown_at, config)
+            gaps = int(np.count_nonzero(g_rec))
+            idle_seconds = _running_sum(np.where(g_rec, g_gl, 0.0))
+            opp = g_rec & (g_gl > breakeven)
+            opportunities = int(np.count_nonzero(opp))
+            with np.errstate(invalid="ignore"):
+                hit = g_gl - offs > breakeven + _EPS
+            hit_mask = fired & hit
+            miss_mask = fired & ~hit
+            hits = int(np.count_nonzero(hit_mask))
+            misses = int(np.count_nonzero(miss_mask))
+            unsaved = int(np.count_nonzero(miss_mask & opp))
+        else:
+            idle_short = _running_sum(gcols["simple_idle"])
+
+    # Trailing gap — the scalar epilogue verbatim (per-gap policy call).
+    params = config.disk
+    idle_power = params.idle_power
+    standby_power = params.standby_power
+    cycle_energy = params.cycle_energy
+    transition_time = params.transition_time
+    shutdown_offset = policy.shutdown_offset
+    end_shutdown_at = None
+    if tape.end_record:
+        trailing = tape.trailing
+        offset = shutdown_offset(trailing)
+        gaps += 1
+        idle_seconds += trailing
+        opportunity = trailing > breakeven
+        if opportunity:
+            opportunities += 1
+        if offset is not None and offset < trailing - _EPS:
+            end_shutdown_at = tape.final_busy_until + offset
+            if trailing - offset > breakeven + _EPS:
+                hits += 1
+            else:
+                misses += 1
+                if opportunity:
+                    unsaved += 1
+    if end_shutdown_at is None:
+        if tape.final_long:
+            idle_long += tape.final_idle_full
+        else:
+            idle_short += tape.final_idle_full
+    else:
+        busy_until = tape.final_busy_until
+        amount = idle_power * (end_shutdown_at - busy_until)
+        if tape.final_long:
+            idle_long += amount
+        else:
+            idle_short += amount
+        power_cycle += cycle_energy
+        off_window = tape.final_gap_end - end_shutdown_at
+        residence = standby_power * max(0.0, off_window - transition_time)
+        standby += residence
+        if tape.final_long:
+            idle_long += residence
+        else:
+            idle_short += residence
+        shutdown_count += 1
+
+    stats = PredictionStats(
+        gaps=gaps,
+        opportunities=opportunities,
+        hits_primary=hits,
+        misses_primary=misses,
+        unsaved_in_opportunity=unsaved,
+        idle_seconds=idle_seconds,
+    )
+    return _finish(
+        tape, config, stats,
+        (idle_short, idle_long, power_cycle, standby),
+        shutdown_count, delayed_requests, delay_seconds, irritating,
+    )
+
+
+def _replay_omniscient_loop(
     tape: ReplayTape, spec: PredictorSpec, config: SimulationConfig
 ) -> ExecutionRunResult:
-    """Omniscient lane (Base / Ideal): gap-level policy over the tape."""
+    """Omniscient lane, scalar loop form (vector-lane oracle and the
+    fallback for policies without :meth:`shutdown_offsets`)."""
     policy = spec.omniscient
     assert policy is not None
     shutdown_offset = policy.shutdown_offset
@@ -680,10 +1106,11 @@ def _replay_omniscient(
     shutdown_count = delayed_requests = irritating = 0
     delay_seconds = 0.0
 
-    for step in tape.steps:
+    for step in tape.replay_views():
         op = step[0]
         if op == TAPE_SIMPLE:
-            idle_short += step[6]
+            for item in step[1]:
+                idle_short += item[5]
         elif op == TAPE_GAP:
             gap_length = step[6]
             record = step[3]
@@ -797,24 +1224,36 @@ def run_fused_application(
     runner: ExperimentRunner,
     application: str,
     specs: Sequence[PredictorSpec],
+    *,
+    use_cache: bool = True,
 ) -> list[ApplicationResult]:
     """All ``specs`` over one application's trace history in one pass.
 
     Streams executions through
     :meth:`~repro.sim.experiment.ExperimentRunner.iter_filtered` (so
     store-backed traces stay memory-bounded), builds each execution's
-    tape once, and advances every lane over it.  Per variant, the
-    sequence of factory calls, feedback deliveries, and
-    ``on_execution_end`` hooks is exactly the classic
+    tape once, and advances every lane over it.  With an artifact cache
+    attached to the runner, built tapes are persisted under
+    :func:`~repro.sim.artifact_cache.tape_key` (trace fingerprint ×
+    execution position × configuration), so warm sweeps and fleets skip
+    tape construction entirely.  Per variant, the sequence of factory
+    calls, feedback deliveries, and ``on_execution_end`` hooks is
+    exactly the classic
     :meth:`~repro.sim.experiment.ExperimentRunner.run_global` sequence,
     so shared-table predictors (PCAP, LT) evolve identically.
     """
+    from repro.sim.artifact_cache import tape_key
+
     if not fused_supported(runner):
         raise SimulationError(
             "fused execution does not support structured tracing; "
             "use the classic per-cell path"
         )
     config = runner.config
+    cache = runner.artifact_cache if use_cache else None
+    app_fingerprint = (
+        runner.fingerprint(application) if cache is not None else None
+    )
     count = len(specs)
     stats = [PredictionStats() for _ in range(count)]
     ledgers: list[list[EnergyBreakdown]] = [[] for _ in range(count)]
@@ -826,8 +1265,22 @@ def run_fused_application(
     irritating = [0] * count
     executions = 0
     for execution, filtered in runner.iter_filtered(application):
+        key = (
+            tape_key(app_fingerprint, executions, config)
+            if cache is not None
+            else None
+        )
         executions += 1
-        tape = build_replay_tape(execution, filtered, config)
+        tape = None
+        if key is not None:
+            hit, value = cache.get(key)
+            if hit and isinstance(value, ColumnarTape):
+                tape = value
+                tape.bind_accesses(filtered.accesses)
+        if tape is None:
+            tape = build_replay_tape(execution, filtered, config)
+            if key is not None:
+                cache.put(key, tape)
         for lane, spec in enumerate(specs):
             result = replay_execution(tape, spec, config)
             stats[lane].merge(result.stats)
@@ -912,7 +1365,9 @@ def run_fused_cells(
         specs = make_specs()
         outcome = FusedCellOutcome(
             application=application,
-            results=run_fused_application(runner, application, specs),
+            results=run_fused_application(
+                runner, application, specs, use_cache=use_cache
+            ),
         )
         if key is not None:
             cache.put(key, outcome)

@@ -418,6 +418,21 @@ class StoredExecution:
         for start, stop in self.chunk_windows():
             yield self._store.decode_rows(start, stop)
 
+    def iter_column_chunks(self) -> Iterator[dict[str, np.ndarray]]:
+        """Yield zero-copy column views of this execution's rows.
+
+        One mapping per chunk window, each value a slice of the store's
+        memory-mapped column array — no event objects are materialized
+        and no bytes are copied.  The page-cache filter's store-backed
+        fast path (:func:`repro.cache.filter.filter_execution`) consumes
+        these directly, which is what lets a columnar replay tape be
+        built from a store without per-chunk event decode.  Memory stays
+        bounded by the chunk grid exactly like :meth:`iter_event_chunks`.
+        """
+        cols = self._store.columns()
+        for start, stop in self.chunk_windows():
+            yield {name: col[start:stop] for name, col in cols.items()}
+
     def iter_events(self) -> Iterator[TraceEvent]:
         """Iterate every event in canonical order, chunk by chunk."""
         for chunk in self.iter_event_chunks():

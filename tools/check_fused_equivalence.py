@@ -6,13 +6,22 @@ one-simulation-per-cell decomposition — and fails loudly if any table
 differs by even a bit:
 
 * the TP timeout ladder (the Figure-7 parameter sweep), serial and on a
-  2-worker pool, and
+  2-worker pool,
 * the PCAP family matrix (PCAP/PCAPh/PCAPf/PCAPfh + Base), serial and
-  on a 2-worker pool.
+  on a 2-worker pool,
+* the full predictor registry (every KNOWN_PREDICTORS name), serial
+  and on a 2-worker pool,
+* adversarial duplicate/shadowed lane sets — the same lane twice, and
+  distinct lanes hiding behind one label — each fused lane diffed
+  against an independent classic run of an equivalent fresh spec, and
+* the vectorized lanes themselves: every registry predictor replayed
+  over the shared columnar tape with ``vectorized=True`` and
+  ``vectorized=False`` (the scalar loop lanes), execution by
+  execution.
 
 On mismatch the script prints a unified diff of the two result tables
-(one line per application × variant, every ApplicationResult field) and
-exits non-zero.  Scale defaults to 0.25 (override with
+(one line per application × variant, every result field) and exits
+non-zero.  Scale defaults to 0.25 (override with
 ``REPRO_EQUIV_SCALE``) so the gate stays inside the CI smoke budget.
 
 Run:  PYTHONPATH=src python tools/check_fused_equivalence.py
@@ -28,13 +37,35 @@ from dataclasses import fields
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.config import SimulationConfig
-from repro.predictors.registry import tp_spec
+from repro.predictors.registry import (
+    KNOWN_PREDICTORS,
+    base_spec,
+    make_spec,
+    pcap_spec,
+    tp_spec,
+)
+from repro.sim.engine import build_replay_tape
+from repro.sim.fused import replay_execution, run_fused_cells
 from repro.sim.parallel import ParallelExperimentRunner, fork_available
 from repro.sim.sweep import sweep
 from repro.workloads import build_suite
 
 TIMEOUTS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0)
 PCAP_FAMILY = ("PCAP", "PCAPh", "PCAPf", "PCAPfh", "Base")
+
+#: Adversarial lane sets: exact duplicates (same spec twice) and
+#: shadowed lanes (different semantics behind one label).  The fused
+#: kernel must keep each lane independent — never collapse by name.
+ADVERSARIAL_LANES = (
+    ("TP(2s)", lambda config: tp_spec(config, timeout=2.0, name="TP(2s)")),
+    ("TP(2s)", lambda config: tp_spec(config, timeout=2.0, name="TP(2s)")),
+    ("dup", lambda config: tp_spec(config, timeout=5.0, name="dup")),
+    ("dup", lambda config: tp_spec(config, timeout=0.5, name="dup")),
+    ("Base", lambda config: base_spec()),
+    ("Base", lambda config: base_spec()),
+    ("PCAP", lambda config: pcap_spec(config)),
+    ("PCAP", lambda config: pcap_spec(config)),
+)
 
 
 def describe_result(result) -> str:
@@ -78,6 +109,83 @@ def check(label: str, fused_lines: list[str], classic_lines: list[str]) -> bool:
     return False
 
 
+def adversarial_pass(runner, config, jobs: int) -> bool:
+    """Duplicate/shadowed lane sets, fused vs independent classic runs.
+
+    The fused kernel runs all lanes of :data:`ADVERSARIAL_LANES` in one
+    pass per application; the reference runs each lane separately with
+    a fresh equivalent spec through the classic per-cell engine.  Lane
+    identity (not label identity) must decide the results.
+    """
+    labels = [label for label, _ in ADVERSARIAL_LANES]
+    outcomes, _ = run_fused_cells(
+        runner,
+        runner.applications,
+        labels,
+        lambda: [factory(config) for _, factory in ADVERSARIAL_LANES],
+        jobs=jobs,
+        use_cache=False,
+    )
+    fused_lines = []
+    classic_lines = []
+    for application in runner.applications:
+        lane_results = outcomes[application].results
+        for lane, (label, factory) in enumerate(ADVERSARIAL_LANES):
+            fused_lines.append(
+                f"{application} lane {lane} ({label}): "
+                f"{describe_result(lane_results[lane])}"
+            )
+            classic = runner.run_global(application, factory(config))
+            classic_lines.append(
+                f"{application} lane {lane} ({label}): "
+                f"{describe_result(classic)}"
+            )
+    return check(
+        f"duplicate/shadowed lanes (jobs={jobs})", fused_lines, classic_lines
+    )
+
+
+def vector_lane_pass(runner, config) -> bool:
+    """Vectorized array-program lanes vs the scalar loop lanes.
+
+    Replays every execution's shared tape under every registry
+    predictor twice — ``vectorized=True`` and ``vectorized=False`` —
+    with independent fresh specs, and byte-diffs the per-execution
+    results.  This is the direct DESIGN §10 contract check for the
+    constant-intent and omniscient array programs (generic lanes take
+    the same loop either way and double as a determinism check).
+    """
+    vector_lines = []
+    loop_lines = []
+    for application in runner.applications:
+        lanes = [
+            (name, make_spec(name, config), make_spec(name, config))
+            for name in KNOWN_PREDICTORS
+        ]
+        for execution, filtered in runner.iter_filtered(application):
+            tape = build_replay_tape(execution, filtered, config)
+            for name, spec_vector, spec_loop in lanes:
+                prefix = (
+                    f"{application}[{execution.execution_index}] × {name}: "
+                )
+                result = replay_execution(
+                    tape, spec_vector, config, vectorized=True
+                )
+                vector_lines.append(prefix + describe_result(result))
+                result = replay_execution(
+                    tape, spec_loop, config, vectorized=False
+                )
+                loop_lines.append(prefix + describe_result(result))
+            for _, spec_vector, spec_loop in lanes:
+                spec_vector.on_execution_end()
+                spec_loop.on_execution_end()
+    return check(
+        "vectorized lanes vs loop lanes (all registry predictors)",
+        vector_lines,
+        loop_lines,
+    )
+
+
 def main() -> int:
     scale = float(os.environ.get("REPRO_EQUIV_SCALE", "0.25"))
     config = SimulationConfig()
@@ -87,7 +195,7 @@ def main() -> int:
     if len(job_counts) == 1:
         print("note: fork unavailable, pooled runs skipped", file=sys.stderr)
 
-    ok = True
+    ok = vector_lane_pass(runner, config)
     for jobs in job_counts:
         fused_points = sweep(
             runner,
@@ -120,6 +228,20 @@ def main() -> int:
             matrix_table(fused_matrix),
             matrix_table(classic_matrix),
         )
+
+        fused_registry = runner.run_matrix(
+            KNOWN_PREDICTORS, jobs=jobs, fused=True
+        )
+        classic_registry = runner.run_matrix(
+            KNOWN_PREDICTORS, jobs=jobs, fused=False
+        )
+        ok &= check(
+            f"full registry matrix (jobs={jobs})",
+            matrix_table(fused_registry),
+            matrix_table(classic_registry),
+        )
+
+        ok &= adversarial_pass(runner, config, jobs)
 
     if not ok:
         print("fused equivalence gate FAILED", file=sys.stderr)
