@@ -15,6 +15,7 @@
     python -m repro run --predictor PCAP --resume sweep.ckpt
     python -m repro fleet --devices 1000 --predictor PCAP --predictor Base
     python -m repro faults [--plan SPEC]
+    python -m repro serve --socket /tmp/repro.sock --state-dir state/
 
 Everything prints plain text; ``--chart`` switches the figure commands
 to ASCII stacked bars.
@@ -40,6 +41,16 @@ files, including ``import-strace`` output) into the on-disk columnar
 store format (:mod:`repro.traces.store`); every suite-level command
 accepts ``--store DIR`` to run against a packed store with bounded
 memory instead of generating the suite in memory.
+
+``repro serve`` runs the online form of the paper's predictors: a
+long-lived daemon (:mod:`repro.serve`) accepting streaming I/O event
+feeds from concurrent clients over a Unix or TCP socket, sharding
+predictor state across supervised worker subprocesses, journalling
+every execution before answering, and returning live shutdown
+decisions that are bit-identical to an offline replay — including
+across worker crashes and daemon restarts.  ``repro faults`` gains a
+serve phase that proves this under injected connection drops, frame
+truncation, and worker stalls.
 """
 
 from __future__ import annotations
@@ -574,6 +585,39 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.daemon import ServeDaemon
+
+    tcp = None
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        try:
+            tcp = (host or "127.0.0.1", int(port))
+        except ValueError:
+            print(f"error: --tcp needs HOST:PORT, got {args.tcp!r}",
+                  file=sys.stderr)
+            return 2
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        tcp=tcp,
+        state_dir=args.state_dir,
+        predictor=args.predictor,
+        shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        stall_timeout=args.stall_timeout,
+        max_pending_bytes=args.max_pending_bytes,
+        max_queue=args.max_queue,
+    )
+    print(f"serving on {daemon.address} "
+          f"(control {daemon.control_address}, "
+          f"{len(daemon.supervisors)} shard(s), "
+          f"predictor {daemon.predictor}, "
+          f"state {daemon.state_dir})", flush=True)
+    daemon.serve_forever()
+    print("drained; exiting")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     """Replay a fault plan against a small suite and verify survival."""
     import tempfile
@@ -684,6 +728,49 @@ def _cmd_faults(args) -> int:
             f"{compared} cell(s) compared",
         )
 
+        # 5. The serve phase: a live daemon subprocess under the three
+        #    serve fault sites (connection drop, frame truncation,
+        #    worker stall past the supervisor deadline), verified
+        #    decision- and table-identical to the offline replay.
+        if args.serve:
+            from repro.serve.harness import (
+                CANNED_SERVE_CHAOS_PLAN,
+                run_scenario,
+                verify_equivalence,
+            )
+
+            scenario = run_scenario(
+                socket_path=os.path.join(tmp, "serve.sock"),
+                state_dir=os.path.join(tmp, "serve-state"),
+                clients=2,
+                scale=0.05,
+                applications=("mozilla", "xemacs"),
+                stall_timeout=3.0,
+                fault_plan=CANNED_SERVE_CHAOS_PLAN,
+            )
+            failures = verify_equivalence(scenario)
+            check(
+                "serve decisions bit-identical to the offline replay",
+                not failures,
+                failures[0] if failures
+                else f"{len(scenario.decisions)} decision(s)",
+            )
+            kinds = {
+                incident.get("kind")
+                for incident in scenario.health.get("incidents", [])
+            }
+            check(
+                "serve incidents on the health endpoint",
+                {"worker-restart", "conn-drop", "malformed-frame"}
+                <= kinds,
+                f"kinds {sorted(k for k in kinds if k)}",
+            )
+            check(
+                "daemon drained cleanly on SIGTERM",
+                scenario.exit_code == 0,
+                f"exit code {scenario.exit_code}",
+            )
+
     print(f"fault plan: {plan_text}")
     print(f"mode: {'pooled' if pooled else 'in-process'} "
           f"(jobs={args.jobs}, cell timeout {args.cell_timeout:g} s)")
@@ -726,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Program Counter Based Techniques "
                     "for Dynamic Power Management' (HPCA 2004)",
     )
+    parser.add_argument("--fault-plan", metavar="SPEC",
+                        help="inject faults per SPEC for any command "
+                             "(see repro.faults; $REPRO_FAULT_PLAN is "
+                             "the env equivalent)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_scale(p):
@@ -874,6 +965,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from FILE: skip cells already journalled "
                         "there, keep journalling new ones")
     p.add_argument("--fault-plan", metavar="SPEC",
+                   default=argparse.SUPPRESS,
                    help="inject faults per SPEC (see repro.faults; "
                         "$REPRO_FAULT_PLAN works for every command)")
     p.add_argument("--fused", action=argparse.BooleanOptionalAction,
@@ -931,8 +1023,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "cache entry, malformed trace line)")
     p.add_argument("--cell-timeout", type=float, default=5.0, metavar="SEC",
                    help="per-cell wall-clock timeout (default 5)")
+    p.add_argument("--serve", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="also run the serve phase: a live daemon under "
+                        "the serve.* fault sites, verified against the "
+                        "offline replay (default on; --no-serve skips)")
     add_scale(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online DPM service daemon (streaming feed clients, "
+             "supervised shard workers, crash-safe state)",
+    )
+    p.add_argument("--socket", metavar="PATH",
+                   help="Unix socket to listen on (control socket at "
+                        "PATH.ctl); exactly one of --socket/--tcp")
+    p.add_argument("--tcp", metavar="HOST:PORT",
+                   help="TCP listen address (control socket at PORT+1)")
+    p.add_argument("--state-dir", required=True, metavar="DIR",
+                   help="shard journals, checkpoint segments, and the "
+                        "quarantine live here; an existing state dir is "
+                        "recovered on startup")
+    p.add_argument("--predictor", choices=KNOWN_PREDICTORS, default="PCAP")
+    p.add_argument("--shards", type=int, default=2, metavar="N",
+                   help="supervised worker subprocesses; applications "
+                        "hash to shards (default 2)")
+    p.add_argument("--checkpoint-every", type=int, default=32, metavar="N",
+                   help="journal records between compactions into "
+                        "columnar checkpoint segments (default 32)")
+    p.add_argument("--stall-timeout", type=float, default=30.0,
+                   metavar="SEC",
+                   help="per-execution worker deadline before the "
+                        "supervisor SIGKILLs and restarts it (default 30)")
+    p.add_argument("--max-pending-bytes", type=int,
+                   default=8 * 1024 * 1024, metavar="B",
+                   help="per-client bound on row payload under assembly "
+                        "before a backpressure NACK (default 8 MiB)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="per-shard queue depth before an overloaded "
+                        "NACK (default 64)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "bench",

@@ -64,6 +64,14 @@ class WorkerCrashError(ExecutionError):
     """A worker process died without reporting a result."""
 
 
+class ServeError(ReproError):
+    """The online DPM service (:mod:`repro.serve`) failed terminally."""
+
+
+class ServeProtocolError(ServeError):
+    """A serve-protocol frame is malformed or violates the handshake."""
+
+
 class InjectedFault(ReproError):
     """A deliberate failure raised by the fault-injection harness
     (:mod:`repro.faults`); never raised outside an active fault plan."""

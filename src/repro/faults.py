@@ -30,6 +30,16 @@ Sites
                        parsing (exercises ``TraceFormatError`` reporting)
 ``persist.os-error``   table persistence I/O raises a transient
                        ``OSError`` (exercises the bounded retry)
+``serve.conn_drop``    the serve daemon drops a client connection on a
+                       received frame (exercises client reconnect and
+                       idempotent execution resubmission)
+``serve.frame_truncate`` an inbound serve frame payload is truncated
+                       before parsing (exercises malformed-frame
+                       quarantine + typed NACK)
+``serve.worker_stall`` a serve shard worker sleeps ``seconds`` before
+                       processing an execution, tripping the
+                       supervisor's stall timeout (SIGKILL + restart +
+                       replay)
 ====================== ====================================================
 
 Selection is deterministic.  Worker sites match on the cell's stable
@@ -72,6 +82,9 @@ CACHE_CORRUPT_READ = "cache.corrupt-read"
 CACHE_TORN_WRITE = "cache.torn-write"
 TRACE_MALFORMED_LINE = "trace.malformed-line"
 PERSIST_OS_ERROR = "persist.os-error"
+SERVE_CONN_DROP = "serve.conn_drop"
+SERVE_FRAME_TRUNCATE = "serve.frame_truncate"
+SERVE_WORKER_STALL = "serve.worker_stall"
 
 #: Every site a plan may name.
 SITES = frozenset({
@@ -82,6 +95,9 @@ SITES = frozenset({
     CACHE_TORN_WRITE,
     TRACE_MALFORMED_LINE,
     PERSIST_OS_ERROR,
+    SERVE_CONN_DROP,
+    SERVE_FRAME_TRUNCATE,
+    SERVE_WORKER_STALL,
 })
 
 
@@ -186,6 +202,25 @@ class FaultPlan:
     def specs_for(self, site: str) -> tuple[FaultSpec, ...]:
         """Every spec of the plan targeting ``site``."""
         return tuple(spec for spec in self.specs if spec.site == site)
+
+    def disarm(self, site: str) -> int:
+        """Remove every spec targeting ``site``; returns removed count.
+
+        Used by recovery machinery once an injected fault has served its
+        purpose: a serve supervisor disarms ``serve.worker_stall`` after
+        the stall-kill so the re-forked worker (which would inherit the
+        parent's counter state and re-fire) replays cleanly.  The fired
+        ledger keeps the record of what fired before disarming.
+        """
+        keep = [
+            (spec, counter)
+            for spec, counter in zip(self.specs, self._counters)
+            if spec.site != site
+        ]
+        removed = len(self.specs) - len(keep)
+        self.specs = tuple(spec for spec, _ in keep)
+        self._counters = [counter for _, counter in keep]
+        return removed
 
     def render_fired(self) -> str:
         """Human-readable list of the faults this plan fired."""
@@ -298,6 +333,14 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
         clear()
 
 
+def disarm(site: str) -> int:
+    """Remove ``site``'s specs from the installed plan (0 if none)."""
+    plan = _ACTIVE
+    if plan is None:
+        return 0
+    return plan.disarm(site)
+
+
 def plan_from_env() -> Optional[FaultPlan]:
     """The plan named by ``REPRO_FAULT_PLAN``, or ``None`` when unset."""
     text = os.environ.get(FAULT_PLAN_ENV_VAR)
@@ -397,3 +440,60 @@ def persistence_gate(path: os.PathLike[str] | str, operation: str) -> None:
             f"injected transient I/O error ({operation})",
             os.fspath(path),
         )
+
+
+def serve_conn_gate(client: str) -> bool:
+    """Fault site: ``True`` when the daemon should drop this client's
+    connection now.
+
+    The daemon calls this once per received frame with the client's
+    identity, so ``serve.conn_drop,app=<client>,at=N`` deterministically
+    drops that client's connection on its N-th inbound frame regardless
+    of how the event loop interleaves other clients.  The HELLO frame
+    itself is gated under ``<anonymous>`` (identity is established *by*
+    it), so for a named client ``at=1`` is the first post-HELLO frame —
+    EXEC_BEGIN, then ROWS chunks, then EXEC_END.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    return plan.match(SERVE_CONN_DROP, application=client) is not None
+
+
+def serve_frame_gate(client: str, payload: bytes) -> bytes:
+    """Fault site: return ``payload`` possibly truncated mid-frame.
+
+    Matching works like :func:`serve_conn_gate` (``app=`` selects the
+    client, the counter is per matching frame), so a plan can corrupt
+    one specific frame of one specific client reproducibly.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return payload
+    if plan.match(SERVE_FRAME_TRUNCATE, application=client) is None:
+        return payload
+    # Cut to an *odd* byte length: never a multiple of the (even)
+    # row size, so a truncated ROWS payload is always off the row grid
+    # (and a truncated JSON body never parses) — the corruption cannot
+    # slip through as a silently shortened execution.
+    cut = (len(payload) // 2) | 1
+    if cut >= len(payload):
+        cut = max(0, len(payload) - 1)
+    return payload[:cut]
+
+
+def serve_worker_gate(application: str) -> None:
+    """Fault site: stall a serve shard worker before an execution.
+
+    ``serve.worker_stall,app=<application>,at=N,seconds=S`` sleeps S
+    seconds before the worker processes its N-th execution of that
+    application; with S above the daemon's stall timeout the supervisor
+    SIGKILLs the worker, restarts it, and replays — a deterministic
+    worker-crash drill.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    spec = plan.match(SERVE_WORKER_STALL, application=application)
+    if spec is not None:
+        time.sleep(spec.seconds)

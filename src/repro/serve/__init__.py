@@ -1,0 +1,40 @@
+"""Resilient online DPM service: daemon, supervision, crash-safe state.
+
+The paper's predictors are meant to run *inside an OS*, making live
+shutdown decisions as I/O streams arrive — this package is that online
+form.  ``repro serve`` (:mod:`repro.serve.daemon`) accepts streaming
+event feeds from concurrent clients over Unix/TCP sockets
+(:mod:`repro.serve.protocol`), shards predictor state across supervised
+worker subprocesses (:mod:`repro.serve.supervisor`,
+:mod:`repro.serve.worker`), journals every processed execution before
+answering (:mod:`repro.serve.state`), and survives worker SIGKILLs,
+client disconnects, and daemon restarts with **bit-identical**
+decisions and table contents — proven against the offline
+:meth:`~repro.sim.experiment.ExperimentRunner.run_global` replay by
+:mod:`repro.serve.harness` under injected faults.
+"""
+
+from repro.serve.client import ServeClient, control_request
+from repro.serve.daemon import ServeDaemon
+from repro.serve.harness import (
+    ScenarioResult,
+    run_scenario,
+    verify_equivalence,
+)
+from repro.serve.state import ShardJournal
+from repro.serve.supervisor import ShardSupervisor
+from repro.serve.worker import ShardWorker, shard_of, table_snapshot
+
+__all__ = [
+    "ScenarioResult",
+    "ServeClient",
+    "ServeDaemon",
+    "ShardJournal",
+    "ShardSupervisor",
+    "ShardWorker",
+    "control_request",
+    "run_scenario",
+    "shard_of",
+    "table_snapshot",
+    "verify_equivalence",
+]

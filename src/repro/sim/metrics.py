@@ -148,6 +148,38 @@ class PredictionStats:
         return self._fraction(self.misses_backup)
 
     # ------------------------------------------------------------------
+    # Serialization (health endpoints, decision payloads)
+    # ------------------------------------------------------------------
+    _FIELDS = (
+        "gaps", "opportunities", "hits_primary", "hits_backup",
+        "misses_primary", "misses_backup", "unsaved_in_opportunity",
+        "idle_seconds",
+    )
+
+    def to_dict(self) -> dict:
+        """The raw counters as a JSON-safe mapping.
+
+        ``idle_seconds`` survives a JSON round trip bit-identically
+        (repr-based float serialization is exact), so two stats objects
+        compare equal after ``from_dict(json.loads(json.dumps(...)))``.
+        """
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PredictionStats":
+        """Rebuild counters serialized by :meth:`to_dict`."""
+        try:
+            return cls(**{
+                name: (float(payload[name]) if name == "idle_seconds"
+                       else int(payload[name]))
+                for name in cls._FIELDS
+            })
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"malformed stats payload {payload!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
     def merge(self, other: "PredictionStats") -> None:

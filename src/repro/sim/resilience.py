@@ -323,29 +323,72 @@ class CellCheckpoint:
             self.declare_provenance(provenance)
 
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as stream:
-            for line in stream:
-                line = line.strip()
-                if not line:
+        raw = self.path.read_bytes()
+        offset = 0
+        valid_end = 0
+        for chunk in raw.split(b"\n"):
+            end = min(len(raw), offset + len(chunk) + 1)  # +1: the \n
+            line = chunk.decode("utf-8", errors="replace").strip()
+            offset = end
+            if not line:
+                valid_end = end
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("type") == "provenance":
+                    header = record.get("provenance")
+                    if isinstance(header, dict):
+                        self.provenance = header
+                    valid_end = end
                     continue
-                try:
-                    record = json.loads(line)
-                    if record.get("type") == "provenance":
-                        header = record.get("provenance")
-                        if isinstance(header, dict):
-                            self.provenance = header
-                        continue
-                    if record.get("type") != "cell":
-                        continue
-                    key = str(record["key"])
-                    result = pickle.loads(
-                        base64.b64decode(record["result"])
-                    )
-                    wall = float(record.get("wall_time", 0.0))
-                except Exception:
-                    self.skipped_lines += 1
+                if record.get("type") != "cell":
+                    valid_end = end
                     continue
-                self._completed[key] = (result, wall)
+                key = str(record["key"])
+                result = pickle.loads(
+                    base64.b64decode(record["result"])
+                )
+                wall = float(record.get("wall_time", 0.0))
+            except Exception:
+                self.skipped_lines += 1
+                continue
+            self._completed[key] = (result, wall)
+            valid_end = end
+        if valid_end < len(raw):
+            # The journal ends in a torn partial record (the only
+            # corruption an append-only fsynced file can suffer).  Cut
+            # the file back to the last intact line *before* resuming:
+            # appending after the tear would concatenate the next record
+            # onto the partial line and silently lose a completed cell.
+            self._truncate_torn_tail(valid_end, len(raw))
+        elif raw and not raw.endswith(b"\n"):
+            # Intact final record missing only its newline: terminate it
+            # so the resumed run's appends start on a fresh line.
+            with open(self.path, "ab") as stream:
+                stream.write(b"\n")
+
+    def _truncate_torn_tail(self, valid_end: int, size: int) -> None:
+        import warnings
+
+        try:
+            with open(self.path, "r+b") as stream:
+                stream.truncate(valid_end)
+        except OSError as exc:
+            warnings.warn(
+                f"checkpoint {self.path} has a torn final line that "
+                f"could not be truncated ({exc}); appended records may "
+                "be corrupted",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        warnings.warn(
+            f"checkpoint {self.path} ended in a torn partial record "
+            f"({size - valid_end} byte(s) discarded, crash mid-write?); "
+            "resuming from the last intact line",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def declare_provenance(self, provenance: dict) -> None:
         """Declare the resuming run's shape; refuse a mismatched journal.

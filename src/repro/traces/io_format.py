@@ -14,6 +14,7 @@ be stored, inspected, or exchanged like real ``strace`` captures::
 from __future__ import annotations
 
 import json
+import warnings
 from typing import IO, Iterable, Iterator
 
 from repro import faults
@@ -97,7 +98,10 @@ def write_execution(execution: ExecutionTrace, stream: IO[str]) -> None:
 
 def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
     plan = faults.active()
-    for number, line in enumerate(lines, start=1):
+    iterator = iter(lines)
+    number = 0
+    for line in iterator:
+        number += 1
         line = line.strip()
         if not line:
             continue
@@ -106,6 +110,18 @@ def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
         try:
             yield json.loads(line)
         except json.JSONDecodeError as exc:
+            # A crash mid-write can only tear the *final* line of an
+            # append-only stream.  If nothing but blank lines follows,
+            # treat the tear like the store treats corruption — keep
+            # what is intact, warn, stop — instead of failing the read.
+            if not any(rest.strip() for rest in iterator):
+                warnings.warn(
+                    f"trace stream ends in a truncated line {number}; "
+                    "ignoring the partial record (crash mid-write?)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return
             raise TraceFormatError(f"line {number}: invalid JSON") from exc
 
 

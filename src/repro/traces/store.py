@@ -102,6 +102,111 @@ _KIND_BY_CODE: tuple[AccessType, ...] = tuple(AccessType)
 #: Pickle protocol for fingerprint hashing (same as the artifact cache).
 _PICKLE_PROTOCOL = 4
 
+#: Bytes per row when the columns are laid end to end (wire encoding).
+EVENT_ROW_BYTES = sum(np.dtype(spec).itemsize for _, spec in COLUMNS)
+
+
+def _decode_column_lists(
+    etypes, times, pids, pcs, fds, kinds, inodes,
+    block_starts, block_counts, auxes, row_base: int,
+) -> list[TraceEvent]:
+    """Rebuild event objects from plain column lists (one row window).
+
+    Shared by :meth:`TraceStore.decode_rows` and the wire codec below;
+    ``row_base`` only labels the error message for bad type codes.
+    """
+    by_code = _KIND_BY_CODE
+    new = object.__new__
+    put = object.__setattr__
+    events: list[TraceEvent] = []
+    append = events.append
+    for i in range(len(etypes)):
+        code = etypes[i]
+        if code == 0:
+            event = new(IOEvent)
+            put(event, "time", times[i])
+            put(event, "pid", pids[i])
+            put(event, "pc", pcs[i])
+            put(event, "fd", fds[i])
+            put(event, "kind", by_code[kinds[i]])
+            put(event, "inode", inodes[i])
+            put(event, "block_start", block_starts[i])
+            put(event, "block_count", block_counts[i])
+        elif code == 1:
+            event = new(ForkEvent)
+            put(event, "time", times[i])
+            put(event, "pid", pids[i])
+            put(event, "parent_pid", auxes[i])
+        elif code == 2:
+            event = new(ExitEvent)
+            put(event, "time", times[i])
+            put(event, "pid", pids[i])
+        else:
+            raise TraceStoreError(
+                f"row {row_base + i}: unknown event type code {code!r}"
+            )
+        append(event)
+    return events
+
+
+def encode_event_rows(events: Iterable[TraceEvent]) -> bytes:
+    """Serialize events as columnar rows (the store's layout, end to end).
+
+    The payload is every column of :data:`COLUMNS`, in order, each as a
+    packed array of one value per event — the same bytes a store chunk
+    holds, concatenated instead of split across files.  This is the
+    ``ROWS`` frame body of the serve protocol (:mod:`repro.serve`):
+    :data:`EVENT_ROW_BYTES` per event, row count implied by the length.
+    """
+    columns: dict[str, list] = {name: [] for name, _ in COLUMNS}
+    for event in events:
+        if isinstance(event, IOEvent):
+            row = (0, event.time, event.pid, event.pc, event.fd,
+                   _KIND_CODE[event.kind], event.inode,
+                   event.block_start, event.block_count, 0)
+        elif isinstance(event, ForkEvent):
+            row = (1, event.time, event.pid, 0, 0, 0, 0, 0, 0,
+                   event.parent_pid)
+        elif isinstance(event, ExitEvent):
+            row = (2, event.time, event.pid, 0, 0, 0, 0, 0, 0, 0)
+        else:
+            raise TraceStoreError(
+                f"unknown event type {type(event).__name__}"
+            )
+        for (name, _), value in zip(COLUMNS, row):
+            columns[name].append(value)
+    parts = [
+        np.asarray(columns[name], dtype=np.dtype(spec)).tobytes()
+        for name, spec in COLUMNS
+    ]
+    return b"".join(parts)
+
+
+def decode_event_rows(payload: bytes) -> list[TraceEvent]:
+    """Inverse of :func:`encode_event_rows` (bit-identical round trip).
+
+    Raises :class:`TraceStoreError` on any length that does not sit on
+    the row grid — a truncated frame can never decode to a shorter
+    event list by accident.
+    """
+    if len(payload) % EVENT_ROW_BYTES:
+        raise TraceStoreError(
+            f"row payload of {len(payload)} byte(s) is not a multiple "
+            f"of the {EVENT_ROW_BYTES}-byte row size"
+        )
+    count = len(payload) // EVENT_ROW_BYTES
+    lists = []
+    offset = 0
+    for _, spec in COLUMNS:
+        dtype = np.dtype(spec)
+        width = count * dtype.itemsize
+        lists.append(
+            np.frombuffer(payload, dtype=dtype, count=count,
+                          offset=offset).tolist()
+        )
+        offset += width
+    return _decode_column_lists(*lists, 0)
+
 
 def _quarantine(path: Path) -> Path:
     """Rename a corrupt store file aside (``<file>.corrupt``).
@@ -721,48 +826,19 @@ class TraceStore:
         """
         self._check_rows(start, stop)
         cols = self.columns()
-        etypes = cols["etype"][start:stop].tolist()
-        times = cols["time"][start:stop].tolist()
-        pids = cols["pid"][start:stop].tolist()
-        pcs = cols["pc"][start:stop].tolist()
-        fds = cols["fd"][start:stop].tolist()
-        kinds = cols["kind"][start:stop].tolist()
-        inodes = cols["inode"][start:stop].tolist()
-        block_starts = cols["block_start"][start:stop].tolist()
-        block_counts = cols["block_count"][start:stop].tolist()
-        auxes = cols["aux"][start:stop].tolist()
-        by_code = _KIND_BY_CODE
-        new = object.__new__
-        put = object.__setattr__
-        events: list[TraceEvent] = []
-        append = events.append
-        for i in range(len(etypes)):
-            code = etypes[i]
-            if code == 0:
-                event = new(IOEvent)
-                put(event, "time", times[i])
-                put(event, "pid", pids[i])
-                put(event, "pc", pcs[i])
-                put(event, "fd", fds[i])
-                put(event, "kind", by_code[kinds[i]])
-                put(event, "inode", inodes[i])
-                put(event, "block_start", block_starts[i])
-                put(event, "block_count", block_counts[i])
-            elif code == 1:
-                event = new(ForkEvent)
-                put(event, "time", times[i])
-                put(event, "pid", pids[i])
-                put(event, "parent_pid", auxes[i])
-            elif code == 2:
-                event = new(ExitEvent)
-                put(event, "time", times[i])
-                put(event, "pid", pids[i])
-            else:
-                raise TraceStoreError(
-                    f"row {start + i}: unknown event type code {code!r}"
-                )
-            append(event)
-        return events
+        return _decode_column_lists(
+            cols["etype"][start:stop].tolist(),
+            cols["time"][start:stop].tolist(),
+            cols["pid"][start:stop].tolist(),
+            cols["pc"][start:stop].tolist(),
+            cols["fd"][start:stop].tolist(),
+            cols["kind"][start:stop].tolist(),
+            cols["inode"][start:stop].tolist(),
+            cols["block_start"][start:stop].tolist(),
+            cols["block_count"][start:stop].tolist(),
+            cols["aux"][start:stop].tolist(),
+            start,
+        )
 
 
 def pack_jsonl(stream: IO[str], writer: StoreWriter) -> int:

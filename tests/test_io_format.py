@@ -73,9 +73,33 @@ def test_blank_lines_ignored():
     assert len(restored[0].events) == 4
 
 
-def test_invalid_json_rejected():
-    with pytest.raises(TraceFormatError):
-        read_executions(io.StringIO("{not json"))
+def test_invalid_json_mid_stream_rejected():
+    text = (
+        "{not json\n"
+        '{"type": "header", "application": "a", "execution": 0}\n'
+    )
+    with pytest.raises(TraceFormatError, match="line 1: invalid JSON"):
+        read_executions(io.StringIO(text))
+
+
+def test_truncated_final_line_warns_and_stops():
+    stream = io.StringIO()
+    write_execution(_execution(), stream)
+    text = stream.getvalue()
+    # Simulate a crash mid-write: the final record is torn in half.
+    torn = text.rstrip("\n")
+    torn = torn[: len(torn) - len(torn.splitlines()[-1]) // 2 - 1]
+    with pytest.warns(RuntimeWarning, match="truncated line"):
+        restored = read_executions(io.StringIO(torn))
+    # Everything before the tear survives: the partial execution is
+    # yielded with the events whose lines were intact.
+    assert len(restored) == 1
+    assert restored[0].events == _execution().events[:-1]
+
+
+def test_truncated_lone_line_yields_nothing():
+    with pytest.warns(RuntimeWarning):
+        assert read_executions(io.StringIO("{not json")) == []
 
 
 def test_event_before_header_rejected():

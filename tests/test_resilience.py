@@ -414,11 +414,51 @@ def test_checkpoint_tolerates_torn_tail(tmp_path):
     # Simulate a crash mid-append: a torn half-record at the tail.
     with open(path, "a", encoding="utf-8") as stream:
         stream.write('{"type": "cell", "key": "key-torn", "resu')
-    restored = CellCheckpoint(path)
+    with pytest.warns(RuntimeWarning, match="torn partial record"):
+        restored = CellCheckpoint(path)
     assert restored.skipped_lines == 1
     assert restored.loaded == 3
     assert restored.get("key-1") is not None
     assert restored.get("key-torn") is None
+
+
+def test_checkpoint_appends_cleanly_after_torn_tail(tmp_path):
+    """The crash window: resuming over a torn tail must not let the next
+    append concatenate onto the partial line and corrupt both records."""
+    path = tmp_path / "run.ckpt"
+    cell = ExperimentCell(index=0, application="alpha", predictor="TP")
+    with CellCheckpoint(path) as checkpoint:
+        checkpoint.record("k0", cell, {"energy": 1.0}, 0.1)
+        checkpoint.record("k1", cell, {"energy": 2.0}, 0.2)
+    intact = path.read_bytes()
+    # Tear the final record mid-line, then resume and append a new one.
+    path.write_bytes(intact[:-20])
+    with pytest.warns(RuntimeWarning, match="torn partial record"):
+        with CellCheckpoint(path) as resumed:
+            assert resumed.loaded == 1
+            resumed.record("k2", cell, {"energy": 3.0}, 0.3)
+    # The torn bytes are gone and the new record starts on its own line.
+    reloaded = CellCheckpoint(path)
+    assert reloaded.skipped_lines == 0
+    assert reloaded.get("k0") == ({"energy": 1.0}, 0.1)
+    assert reloaded.get("k1") is None
+    assert reloaded.get("k2") == ({"energy": 3.0}, 0.3)
+
+
+def test_checkpoint_repairs_missing_final_newline(tmp_path):
+    path = tmp_path / "run.ckpt"
+    cell = ExperimentCell(index=0, application="alpha", predictor="TP")
+    with CellCheckpoint(path) as checkpoint:
+        checkpoint.record("k0", cell, {"energy": 1.0}, 0.1)
+    # Crash between the record bytes and its newline: record intact.
+    path.write_bytes(path.read_bytes().rstrip(b"\n"))
+    with CellCheckpoint(path) as resumed:
+        assert resumed.loaded == 1
+        resumed.record("k1", cell, {"energy": 2.0}, 0.2)
+    reloaded = CellCheckpoint(path)
+    assert reloaded.skipped_lines == 0
+    assert reloaded.get("k0") == ({"energy": 1.0}, 0.1)
+    assert reloaded.get("k1") == ({"energy": 2.0}, 0.2)
 
 
 def test_checkpoint_records_survive_reload(tmp_path):

@@ -1,0 +1,121 @@
+"""CI gate: ``repro serve`` decisions are bit-identical under chaos.
+
+Boots a real daemon subprocess (``python -m repro serve``) with a fault
+plan armed, drives eight concurrent feed clients through it, and makes
+the service earn every robustness claim at once:
+
+* ``serve.conn_drop`` severs one client's connection mid-stream — the
+  client must reconnect and resubmit, and worker-journal dedup must
+  make the redelivery exact;
+* ``serve.frame_truncate`` corrupts one frame in flight — the daemon
+  must quarantine the bytes (``state_dir/quarantine/*.corrupt``) and
+  the client's resend must land cleanly;
+* ``serve.worker_stall`` hangs a shard worker past the supervisor
+  deadline — SIGKILL, restart, journal replay, in-flight redelivery;
+* on top of the injected faults, the harness SIGKILLs a live shard
+  worker from the *outside* once a few decisions have arrived — the
+  uncooperative mid-stream crash no fault site can fake.
+
+The run passes only if the daemon then drains cleanly on SIGTERM
+(exit 0) and :func:`repro.serve.harness.verify_equivalence` finds the
+per-client shutdown decisions, merged prediction counters, summed
+energy, and final predictor-table snapshots **bit-identical** to an
+offline ``run_global`` replay of the recorded feed — proving the
+service machinery (sharding, supervision, restarts, retries, recovery)
+added or lost nothing.  The health endpoint must also have reported
+the worker restarts and the injected connection drop.
+
+Scale defaults to 0.2 (override with ``REPRO_SERVE_SCALE``) to stay
+inside the CI smoke budget.
+
+Run:  PYTHONPATH=src python tools/check_serve_equivalence.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve.harness import run_scenario, verify_equivalence
+
+CLIENTS = int(os.environ.get("REPRO_SERVE_CLIENTS", "8"))
+SCALE = float(os.environ.get("REPRO_SERVE_SCALE", "0.2"))
+APPLICATIONS = ("mozilla", "xemacs")
+
+#: One dropped client connection, one truncated frame, one stalled
+#: worker — the three ``serve.*`` fault sites, all in a single run.
+FAULT_PLAN = (
+    "serve.conn_drop,app=client-0,at=3;"
+    "serve.frame_truncate,app=client-1,at=2;"
+    "serve.worker_stall,app=mozilla,at=2,seconds=8"
+)
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        print(f"{'PASS' if ok else 'FAIL'}  {label}"
+              + (f" — {detail}" if detail and not ok else ""))
+        if not ok:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory(prefix="serve-equiv-") as tmp:
+        state_dir = os.path.join(tmp, "state")
+        scenario = run_scenario(
+            socket_path=os.path.join(tmp, "serve.sock"),
+            state_dir=state_dir,
+            clients=CLIENTS,
+            scale=SCALE,
+            applications=APPLICATIONS,
+            stall_timeout=5.0,
+            fault_plan=FAULT_PLAN,
+            kill_worker_after=3,
+        )
+
+        check("all clients completed without errors",
+              not scenario.client_errors,
+              "; ".join(scenario.client_errors))
+        check("a live shard worker was SIGKILLed mid-stream",
+              scenario.killed_pid is not None)
+        check("daemon drained cleanly on SIGTERM (exit 0)",
+              scenario.exit_code == 0,
+              f"exit code {scenario.exit_code}")
+
+        incidents = scenario.health.get("incidents", [])
+        kinds = {incident.get("kind") for incident in incidents}
+        check("health endpoint reported the worker restart(s)",
+              "worker-restart" in kinds, f"incident kinds: {sorted(kinds)}")
+        check("health endpoint reported the injected connection drop",
+              "conn-drop" in kinds, f"incident kinds: {sorted(kinds)}")
+        check("truncated frame was quarantined as *.corrupt",
+              any(name.endswith(".corrupt") for name in
+                  os.listdir(os.path.join(state_dir, "quarantine"))))
+
+        mismatches = verify_equivalence(scenario)
+        for mismatch in mismatches:
+            print(f"      {mismatch}")
+        check("decisions and tables bit-identical to the offline replay",
+              not mismatches, f"{len(mismatches)} mismatch(es)")
+
+        expected = 0
+        for application, executions in scenario.feed.items():
+            expected += len(executions)
+        check("every submitted execution got a decision",
+              len(scenario.decisions) == expected and expected > 0,
+              f"{len(scenario.decisions)} decision(s) for "
+              f"{expected} submission(s)")
+
+    if failures:
+        print(f"\n{len(failures)} serve equivalence check(s) FAILED")
+        return 1
+    print("\nserve equivalence gate passed "
+          f"({CLIENTS} clients, scale {SCALE}, chaos + external SIGKILL)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
