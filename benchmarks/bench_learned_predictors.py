@@ -1,0 +1,69 @@
+"""Extension — learning-augmented predictors on the desktop suite.
+
+Runs the three learned policies (Q-DPM, learned ski rental, PI
+feedback) alongside the paper's predictors over the traced desktop
+applications: accuracy (hit/miss) and energy savings versus the
+always-on Base, the same axes as Figures 7 and 8.
+
+Expected shape: the ski-rental consumer of the PCAP table inherits
+most of PCAP's coverage advantage over TP and nearly all of its energy
+savings; Q-DPM and the PI controller — which never see the PC signal —
+still cover more opportunities than the static timeout, at the cost of
+exploration / transient mispredictions; every policy lands strictly
+between Base and the oracle.  (Their structural advantages show up on
+the adversarial workloads — see ``bench_predictor_envelope``.)
+"""
+
+from conftest import run_once
+
+from repro.sim.metrics import PredictionStats
+
+PREDICTORS = ("TP", "PCAP", "QDPM", "SKI", "PI", "Ideal")
+
+
+def test_learned_predictors(benchmark, ablation_runner):
+    def sweep():
+        base = sum(
+            ablation_runner.run_global(app, "Base").energy
+            for app in ablation_runner.applications
+        )
+        results = {}
+        for name in PREDICTORS:
+            stats = PredictionStats()
+            energy = 0.0
+            for app in ablation_runner.applications:
+                result = ablation_runner.run_global(app, name)
+                stats.merge(result.stats)
+                energy += result.energy
+            results[name] = (
+                stats.hit_fraction,
+                stats.miss_fraction,
+                1.0 - energy / base,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Extension: learned predictors (global, scale 0.5)")
+    for name, (hit, miss, savings) in results.items():
+        print(f"  {name:5s} hit={hit:6.1%} miss={miss:6.1%} "
+              f"savings={savings:6.1%}")
+
+    # Every learned policy saves energy over Base and the oracle bounds
+    # them all from above.
+    for name in ("QDPM", "SKI", "PI"):
+        assert 0.0 < results[name][2] <= results["Ideal"][2]
+
+    # Consistency: the ski-rental consumer inherits the advice table's
+    # coverage advantage over the timeout floor and keeps nearly all of
+    # PCAP's energy savings.
+    assert results["SKI"][0] > results["TP"][0]
+    assert results["SKI"][2] > results["PCAP"][2] - 0.02
+
+    # Q-DPM covers more opportunities than the static timeout from idle
+    # history alone; its exploration cost stays a bounded energy tax.
+    assert results["QDPM"][0] > results["TP"][0]
+    assert results["QDPM"][2] > 0.9 * results["TP"][2]
+
+    # The PI controller tracks the timeout policy it modulates.
+    assert results["PI"][2] > 0.9 * results["TP"][2]

@@ -1,13 +1,20 @@
-"""Beyond the paper's figures — PCAP's behavioural envelope.
+"""Beyond the paper's figures — the predictors' behavioural envelope.
 
-Characterizes the predictor on the three extreme workloads: perfectly
-periodic (clockwork), adversarially novel (chaos), and regime-changing
-(shapeshifter).  Demonstrates the paper's two safety arguments:
+Characterizes the policy field on the four extreme workloads: perfectly
+periodic (clockwork), adversarially novel (chaos), regime-changing
+(shapeshifter), and signature-aliasing (pc_alias).  Demonstrates the
+paper's safety arguments *and* their limits:
 
 * §2.1's premise pays off fully when behaviour repeats (clockwork);
 * §4.3's backup timeout means PCAP degrades *to* the timeout
   predictor — never below it — when behaviour never repeats (chaos);
-* §4.2's retraining handles recompiled code (shapeshifter).
+* §4.2's retraining handles recompiled code (shapeshifter);
+* but when distinct control paths *alias* to one arithmetic-sum
+  signature (pc_alias), PCAP's **primary** fires prematurely on every
+  aliased gap — damage the backup-timeout argument cannot catch.  The
+  learned family bounds it: the λ-hedged ski-rental consumer of the
+  same table keeps its premature fires at zero, and Q-DPM learns the
+  long/short alternation the signature cannot express.
 """
 
 from conftest import run_once
@@ -15,7 +22,7 @@ from conftest import run_once
 from repro.sim.experiment import ExperimentRunner
 from repro.workloads.extremes import build_extremes
 
-PREDICTORS = ("TP", "LT", "PCAP")
+PREDICTORS = ("TP", "LT", "PCAP", "QDPM", "SKI", "PI")
 
 
 def test_predictor_envelope(benchmark, config):
@@ -31,13 +38,14 @@ def test_predictor_envelope(benchmark, config):
 
     results = run_once(benchmark, sweep)
     print()
-    print("PCAP behavioural envelope (12 executions each)")
+    print("predictor behavioural envelope (12 executions each)")
     for (app, name), result in results.items():
         stats = result.stats
         table = result.table_size if result.table_size is not None else "-"
         print(f"  {app:13s} {name:5s} hit={stats.hit_fraction:6.1%} "
               f"(primary {stats.hit_primary_fraction:6.1%}) "
-              f"miss={stats.miss_fraction:6.1%} table={table}")
+              f"miss={stats.miss_fraction:6.1%} "
+              f"energy={result.energy:9.1f}J table={table}")
 
     # Clockwork: near-perfect primary coverage with a one-entry table.
     clockwork = results[("clockwork", "PCAP")]
@@ -57,3 +65,37 @@ def test_predictor_envelope(benchmark, config):
     shape = results[("shapeshifter", "PCAP")]
     assert shape.stats.hit_fraction > 0.9
     assert shape.table_size == 2
+
+    # PC aliasing: PCAP's primary misfires on (almost) every aliased
+    # short gap — a systematic premature shutdown the backup-timeout
+    # safety floor cannot catch, because the primary causes it.
+    alias_pcap = results[("pc_alias", "PCAP")]
+    alias_tp = results[("pc_alias", "TP")]
+    assert alias_pcap.stats.misses_primary > 0.8 * alias_pcap.stats.opportunities
+    assert alias_tp.stats.misses == 0
+
+    # The λ-hedged ski-rental consumer of the SAME advice table keeps
+    # its premature fires at zero and still covers every opportunity —
+    # consistency on the long gaps, robustness on the aliased ones.
+    alias_ski = results[("pc_alias", "SKI")]
+    assert alias_ski.stats.misses == 0
+    assert alias_ski.stats.hit_fraction > 0.9
+    assert alias_ski.energy < alias_pcap.energy
+    assert alias_ski.energy < alias_tp.energy
+
+    # Q-DPM learns the long/short alternation from idle-history state
+    # (which the aliased signature cannot express): misses stay rare.
+    alias_qdpm = results[("pc_alias", "QDPM")]
+    assert alias_qdpm.stats.hit_fraction > 0.9
+    assert alias_qdpm.stats.misses < 0.2 * alias_qdpm.stats.opportunities
+
+    # The PI controller holds its irritation near the setpoint on every
+    # workload — premature fires stay a bounded fraction of gaps.
+    for app in ("clockwork", "chaos", "shapeshifter", "pc_alias"):
+        pi = results[(app, "PI")]
+        assert pi.stats.misses <= 0.2 * max(pi.stats.gaps, 1)
+
+    # On chaos (nothing to predict), the learned policies never do
+    # worse than the timeout floor by more than the exploration cost.
+    chaos_qdpm = results[("chaos", "QDPM")]
+    assert chaos_qdpm.energy < 1.05 * chaos_tp.energy

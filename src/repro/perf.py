@@ -163,6 +163,7 @@ def _measure(
 BENCHMARK_NAMES = (
     "cache_filter",
     "global_simulation",
+    "learned_predictors",
     "tape_build",
     "fused_vector_lanes",
     "sweep_per_cell",
@@ -244,6 +245,26 @@ def run_benchmarks(
             best_s=best_s,
             rounds=rounds,
             items=len(filtered.accesses),
+        )
+
+    if want("learned_predictors"):
+        # The learned-predictor family (Q-DPM, learning-augmented ski
+        # rental, PI feedback controller) over the same execution: all
+        # three are generic stateful lanes, so this bounds the per-access
+        # callback cost the fused kernel pays for them.
+
+        def bench_learned() -> None:
+            for name in ("QDPM", "SKI", "PI"):
+                spec = make_spec(name, config)
+                run_global_execution(execution, filtered, spec, config)
+
+        mean_s, best_s = _measure(bench_learned, rounds=rounds)
+        report.results["learned_predictors"] = BenchResult(
+            name="learned_predictors",
+            mean_s=mean_s,
+            best_s=best_s,
+            rounds=rounds,
+            items=3 * len(filtered.accesses),
         )
 
     if want("tape_build"):
@@ -509,6 +530,7 @@ def fleet_speedup(report: PerfReport) -> Optional[float]:
 GATED_BENCHMARKS = (
     "cache_filter",
     "global_simulation",
+    "learned_predictors",
     "tape_build",
     "fused_vector_lanes",
     "sweep_per_cell",

@@ -14,6 +14,7 @@ fresh per (application × predictor) experiment via :func:`make_spec`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from difflib import get_close_matches
 from typing import Callable, Optional
 
 from repro.core.variants import (
@@ -32,6 +33,11 @@ from repro.predictors.adaptive_timeout import AdaptiveTimeoutPredictor
 from repro.predictors.always_on import AlwaysOnPolicy
 from repro.predictors.base import LocalPredictor, OmniscientPolicy
 from repro.predictors.exponential_average import ExponentialAveragePredictor
+from repro.predictors.learned import (
+    LearnedSkiRentalVariant,
+    PIControllerVariant,
+    QDPMVariant,
+)
 from repro.predictors.learning_tree import LTVariant
 from repro.predictors.oracle import OraclePolicy
 from repro.predictors.previous_busy import PreviousBusyPredictor
@@ -193,6 +199,82 @@ def st_spec(config: SimulationConfig) -> PredictorSpec:
     )
 
 
+def qdpm_spec(
+    config: SimulationConfig,
+    *,
+    epsilon: float = QDPMVariant.DEFAULT_EPSILON,
+    learning_rate: float = QDPMVariant.DEFAULT_LEARNING_RATE,
+    discount: float = QDPMVariant.DEFAULT_DISCOUNT,
+    seed: int = QDPMVariant.DEFAULT_SEED,
+    name: Optional[str] = None,
+) -> PredictorSpec:
+    """Q-DPM: tabular Q-learning with deterministic seeded exploration.
+
+    Non-default hyperparameters are embedded in the spec name (and
+    therefore in fused lane labels and artifact-cache variant
+    fingerprints) unless an explicit ``name`` overrides it.
+    """
+    shared = QDPMVariant(
+        config,
+        epsilon=epsilon,
+        learning_rate=learning_rate,
+        discount=discount,
+        seed=seed,
+    )
+    return PredictorSpec(
+        name=shared.name if name is None else name,
+        local_factory=shared.create_local,
+        end_execution_hook=shared.on_execution_end,
+        table_size_fn=lambda: shared.table_size,
+    )
+
+
+def ski_spec(
+    config: SimulationConfig,
+    *,
+    lam: float = LearnedSkiRentalVariant.DEFAULT_LAMBDA,
+    name: Optional[str] = None,
+) -> PredictorSpec:
+    """Learning-augmented ski rental over a PCAP advice table.
+
+    ``lam`` is the Antoniadis et al. robustness parameter: 0 trusts the
+    advice fully (pure PCAP, no backup), 1 ignores it (the breakeven
+    timeout).  A non-default λ is embedded in the spec name.
+    """
+    shared = LearnedSkiRentalVariant(config, lam=lam)
+    return PredictorSpec(
+        name=shared.name if name is None else name,
+        local_factory=shared.create_local,
+        end_execution_hook=shared.on_execution_end,
+        table_size_fn=lambda: shared.table_size,
+    )
+
+
+def pi_spec(
+    config: SimulationConfig,
+    *,
+    setpoint: float = PIControllerVariant.DEFAULT_SETPOINT,
+    kp: float = PIControllerVariant.DEFAULT_KP,
+    ki: float = PIControllerVariant.DEFAULT_KI,
+    smoothing: float = PIControllerVariant.DEFAULT_SMOOTHING,
+    name: Optional[str] = None,
+) -> PredictorSpec:
+    """PI feedback controller steering its timeout to a slowdown setpoint.
+
+    Non-default gains are embedded in the spec name (and therefore in
+    fused lane labels and artifact-cache variant fingerprints).
+    """
+    shared = PIControllerVariant(
+        config, setpoint=setpoint, kp=kp, ki=ki, smoothing=smoothing
+    )
+    return PredictorSpec(
+        name=shared.name if name is None else name,
+        local_factory=shared.create_local,
+        end_execution_hook=shared.on_execution_end,
+        table_size_fn=lambda: shared.table_size,
+    )
+
+
 #: Names accepted by :func:`make_spec`.
 KNOWN_PREDICTORS = (
     "Base",
@@ -212,6 +294,9 @@ KNOWN_PREDICTORS = (
     "AT",
     "PB",
     "ST",
+    "QDPM",
+    "SKI",
+    "PI",
 )
 
 
@@ -235,10 +320,19 @@ def make_spec(name: str, config: SimulationConfig) -> PredictorSpec:
         "AT": lambda: at_spec(config),
         "PB": lambda: pb_spec(config),
         "ST": lambda: st_spec(config),
+        "QDPM": lambda: qdpm_spec(config),
+        "SKI": lambda: ski_spec(config),
+        "PI": lambda: pi_spec(config),
     }
-    try:
-        return builders[name]()
-    except KeyError:
+    # Resolve the name *before* calling the builder: a KeyError raised
+    # inside a builder must surface as the bug it is, not be misreported
+    # as an unknown predictor name.
+    builder = builders.get(name)
+    if builder is None:
+        close = get_close_matches(name, KNOWN_PREDICTORS, n=3, cutoff=0.4)
+        hint = f"; did you mean {' or '.join(close)}?" if close else ""
         raise ConfigurationError(
-            f"unknown predictor {name!r}; known: {', '.join(KNOWN_PREDICTORS)}"
-        ) from None
+            f"unknown predictor {name!r}{hint} "
+            f"(known: {', '.join(KNOWN_PREDICTORS)})"
+        )
+    return builder()

@@ -13,6 +13,7 @@ from repro.workloads.activities import (
     read_loop,
     routine,
 )
+from repro.workloads.aliasing import build_pc_alias
 from repro.workloads.extremes import (
     build_chaos,
     build_clockwork,
@@ -65,6 +66,7 @@ __all__ = [
     "build_chaos",
     "build_clockwork",
     "build_extremes",
+    "build_pc_alias",
     "build_shapeshifter",
     "build_suite",
     "burst",

@@ -1,0 +1,64 @@
+"""Adversarial PC-aliasing stress workload.
+
+PCAP's path signature is the *arithmetic sum* of the program counters
+observed since the last long idle period (§4.1, Figure 4) — cheap, but
+commutative: two different control paths that execute the same call
+sites in a different order produce the **same** signature.  The paper's
+premise ("a particular path ... leads to the same idle behaviour") is
+exactly what this workload is built to break:
+
+* **routine A** — six call sites executed in program order, followed by
+  a *long* think time (a real shutdown opportunity);
+* **routine B** — the *same six call sites in reverse order* (a
+  different control path, different idle behaviour), followed by a
+  *short* think time just above the wait-window.
+
+The two bursts alias to one signature, so once PCAP trains "long" on
+routine A it fires its primary predictor on every routine B gap — a
+systematic premature shutdown the backup-timeout safety argument (§4.3)
+cannot catch, because the primary (not the backup) is doing the
+damage.  Robust consumers of the same table — the learning-augmented
+ski-rental predictor hedging with λ — keep their premature fires
+bounded on this trace, which is the head-to-head comparison the
+predictor-envelope benchmark draws.
+
+The alternation is also *state-predictable* (long and short gaps strictly
+alternate), so idle-history predictors such as Q-DPM can learn the
+pattern the signature cannot express.
+"""
+
+from __future__ import annotations
+
+from repro.traces.trace import ApplicationTrace
+from repro.workloads.extremes import _execution
+from repro.workloads.rng import stable_pc
+
+#: Call sites per burst (matches the other envelope workloads).
+_BURST_LENGTH = 6
+#: Think time after routine A: a clear shutdown opportunity.
+_LONG_THINK = 40.0
+#: Think time after routine B: above the wait-window (visible), far
+#: below breakeven — any shutdown inside it is a premature fire.
+_SHORT_THINK = 2.5
+
+
+def build_pc_alias(executions: int = 12) -> ApplicationTrace:
+    """Alternating aliased routines: same PC multiset, opposite gaps."""
+    routine = [
+        stable_pc("pc-alias", f"step{i}") for i in range(_BURST_LENGTH)
+    ]
+    reversed_routine = routine[::-1]
+
+    def pcs(index: int, burst: int):
+        return routine if burst % 2 == 0 else reversed_routine
+
+    def think(index: int, burst: int) -> float:
+        return _LONG_THINK if burst % 2 == 0 else _SHORT_THINK
+
+    return ApplicationTrace(
+        "pc_alias",
+        [
+            _execution("pc_alias", index, pcs, think)
+            for index in range(executions)
+        ],
+    )

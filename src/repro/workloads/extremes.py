@@ -130,9 +130,14 @@ def build_shapeshifter(executions: int = 12) -> ApplicationTrace:
 
 
 def build_extremes(executions: int = 12) -> dict[str, ApplicationTrace]:
-    """All three envelope workloads as a suite."""
+    """The envelope workloads as a suite (including the PC-aliasing
+    adversary of :mod:`repro.workloads.aliasing`)."""
+    # Late import: aliasing reuses this module's _execution builder.
+    from repro.workloads.aliasing import build_pc_alias
+
     return {
         "clockwork": build_clockwork(executions),
         "chaos": build_chaos(executions),
         "shapeshifter": build_shapeshifter(executions),
+        "pc_alias": build_pc_alias(executions),
     }

@@ -1,0 +1,85 @@
+"""PC-aliasing adversarial workload (repro.workloads.aliasing).
+
+Checks the construction itself — the two routines must genuinely alias
+under PCAP's commutative arithmetic-sum signature while carrying
+opposite idle behaviour — and the behavioural consequence: PCAP's
+primary predictor systematically fires into the short gaps, while the
+timeout predictor (no path signal at all) stays clean.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import ExperimentRunner
+from repro.traces.events import IOEvent
+from repro.workloads import build_pc_alias
+from repro.workloads.extremes import build_extremes
+
+
+def burst_pcs(execution) -> list[tuple[int, ...]]:
+    """The PC tuple of each burst, split on the >1s think gaps."""
+    bursts: list[tuple[int, ...]] = []
+    current: list[int] = []
+    last_time = None
+    for event in execution.events:
+        if not isinstance(event, IOEvent):
+            continue
+        if last_time is not None and event.time - last_time > 1.0 and current:
+            bursts.append(tuple(current))
+            current = []
+        current.append(event.pc)
+        last_time = event.time
+    if current:
+        bursts.append(tuple(current))
+    return bursts
+
+
+def test_routines_alias_under_arithmetic_sum():
+    app = build_pc_alias(executions=2)
+    bursts = burst_pcs(app.executions[0])
+    assert len(bursts) == 10
+    evens = {bursts[i] for i in range(0, 10, 2)}
+    odds = {bursts[i] for i in range(1, 10, 2)}
+    (routine,) = evens
+    (reversed_routine,) = odds
+    # Different control paths...
+    assert routine != reversed_routine
+    assert routine == reversed_routine[::-1]
+    # ...same commutative signature.
+    assert sum(routine) == sum(reversed_routine)
+
+
+def test_build_is_deterministic():
+    assert build_pc_alias(executions=4) == build_pc_alias(executions=4)
+
+
+def test_executions_validate_and_scale():
+    app = build_pc_alias(executions=5)
+    assert app.application == "pc_alias"
+    assert len(app.executions) == 5
+    for execution in app.executions:
+        execution.validate()
+
+
+def test_extremes_suite_includes_pc_alias():
+    suite = build_extremes(executions=2)
+    assert set(suite) == {"clockwork", "chaos", "shapeshifter", "pc_alias"}
+    assert suite["pc_alias"].application == "pc_alias"
+
+
+def test_pcap_primary_misfires_where_tp_is_clean(config):
+    """The designed failure mode: after training "long" on routine A,
+    PCAP's primary fires into every aliased routine-B short gap; TP,
+    blind to paths, never fires before its timeout and misses nothing."""
+    runner = ExperimentRunner(
+        {"pc_alias": build_pc_alias(executions=8)}, config
+    )
+    pcap = runner.run_global("pc_alias", "PCAP")
+    tp = runner.run_global("pc_alias", "TP")
+    assert tp.stats.misses == 0
+    assert pcap.stats.misses_primary > 0
+    # The premature fires dominate: almost every opportunity also has an
+    # aliased short gap misfire next to it.
+    assert pcap.stats.misses_primary > 0.8 * pcap.stats.opportunities
+    # Both routines collapse to one table entry per (signature, pid) —
+    # the alias is invisible to the table itself.
+    assert pcap.table_size == 2

@@ -9,8 +9,13 @@ differs by even a bit:
   2-worker pool,
 * the PCAP family matrix (PCAP/PCAPh/PCAPf/PCAPfh + Base), serial and
   on a 2-worker pool,
-* the full predictor registry (every KNOWN_PREDICTORS name), serial
-  and on a 2-worker pool,
+* the full predictor registry (every KNOWN_PREDICTORS name, including
+  the learned family QDPM/SKI/PI), serial and on a 2-worker pool,
+* the learned-family hyperparameter ladders — the ski-rental λ sweep
+  and Q-DPM exploration-seed lanes — whose lanes are stateful generic
+  lanes with seeded pseudo-randomness; fused vs classic here proves
+  the engine call order (and hence the deterministic draw stream) is
+  identical in both paths,
 * adversarial duplicate/shadowed lane sets — the same lane twice, and
   distinct lanes hiding behind one label — each fused lane diffed
   against an independent classic run of an equivalent fresh spec, and
@@ -42,6 +47,8 @@ from repro.predictors.registry import (
     base_spec,
     make_spec,
     pcap_spec,
+    qdpm_spec,
+    ski_spec,
     tp_spec,
 )
 from repro.sim.engine import build_replay_tape
@@ -52,6 +59,8 @@ from repro.workloads import build_suite
 
 TIMEOUTS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0)
 PCAP_FAMILY = ("PCAP", "PCAPh", "PCAPf", "PCAPfh", "Base")
+SKI_LAMBDAS = (0.0, 0.25, 0.5, 1.0)
+QDPM_SEEDS = (0, 1, 7)
 
 #: Adversarial lane sets: exact duplicates (same spec twice) and
 #: shadowed lanes (different semantics behind one label).  The fused
@@ -239,6 +248,46 @@ def main() -> int:
             f"full registry matrix (jobs={jobs})",
             matrix_table(fused_registry),
             matrix_table(classic_registry),
+        )
+
+        fused_ski = sweep(
+            runner,
+            SKI_LAMBDAS,
+            make_spec=lambda value, cfg: ski_spec(cfg, lam=value),
+            jobs=jobs,
+            fused=True,
+        )
+        classic_ski = sweep(
+            runner,
+            SKI_LAMBDAS,
+            make_spec=lambda value, cfg: ski_spec(cfg, lam=value),
+            jobs=jobs,
+            fused=False,
+        )
+        ok &= check(
+            f"ski-rental lambda sweep (jobs={jobs})",
+            sweep_table(fused_ski),
+            sweep_table(classic_ski),
+        )
+
+        fused_qdpm = sweep(
+            runner,
+            QDPM_SEEDS,
+            make_spec=lambda value, cfg: qdpm_spec(cfg, seed=value),
+            jobs=jobs,
+            fused=True,
+        )
+        classic_qdpm = sweep(
+            runner,
+            QDPM_SEEDS,
+            make_spec=lambda value, cfg: qdpm_spec(cfg, seed=value),
+            jobs=jobs,
+            fused=False,
+        )
+        ok &= check(
+            f"Q-DPM seed lanes (jobs={jobs})",
+            sweep_table(fused_qdpm),
+            sweep_table(classic_qdpm),
         )
 
         ok &= adversarial_pass(runner, config, jobs)
